@@ -1,0 +1,64 @@
+"""Ablations of G10's design choices (DESIGN.md §4).
+
+* eviction destination policy (SSD-first + host fallback vs GDS-only),
+* eager prefetching (§4.4) vs latest-safe-only prefetching,
+* benefit/cost candidate ranking vs naive rankings.
+"""
+
+from repro.baselines import G10Policy, G10Variant
+from repro.experiments.harness import build_workload
+from repro.sim import ExecutionSimulator
+
+from conftest import BENCH_SCALE, run_once
+
+
+def _simulate(workload, policy):
+    return ExecutionSimulator(workload.graph, workload.config, policy, workload.report).run()
+
+
+def test_ablation_eviction_destination(benchmark):
+    """Using host memory alongside the SSD must not hurt, and usually helps."""
+    workload = build_workload("bert", scale=BENCH_SCALE)
+
+    def run():
+        full = _simulate(workload, G10Policy(G10Variant.FULL))
+        gds = _simulate(workload, G10Policy(G10Variant.GDS))
+        return full, gds
+
+    full, gds = run_once(benchmark, run)
+    print(f"\n  with host staging: {full.normalized_performance:.3f}, "
+          f"GDS only: {gds.normalized_performance:.3f}")
+    assert full.normalized_performance >= gds.normalized_performance - 0.02
+
+
+def test_ablation_eager_prefetch(benchmark):
+    """Eager prefetching (§4.4) should never lose to latest-safe prefetching."""
+    workload = build_workload("resnet152", scale=BENCH_SCALE)
+
+    def run():
+        eager = _simulate(workload, G10Policy(eager_prefetch=True))
+        lazy = _simulate(workload, G10Policy(eager_prefetch=False))
+        return eager, lazy
+
+    eager, lazy = run_once(benchmark, run)
+    print(f"\n  eager prefetch: {eager.normalized_performance:.3f}, "
+          f"latest-safe only: {lazy.normalized_performance:.3f}")
+    # Eager prefetching exists to absorb timing mispredictions (Figure 19);
+    # on a perfectly profiled trace it should land within a few percent of the
+    # latest-safe schedule.
+    assert eager.normalized_performance >= lazy.normalized_performance - 0.08
+
+
+def test_ablation_candidate_ranking(benchmark):
+    """The benefit/cost ranking of Algorithm 1 should match or beat naive rankings."""
+    workload = build_workload("bert", scale=BENCH_SCALE)
+
+    def run():
+        return {
+            ranking: _simulate(workload, G10Policy(ranking=ranking)).normalized_performance
+            for ranking in ("benefit_cost", "largest_tensor", "longest_period")
+        }
+
+    scores = run_once(benchmark, run)
+    print(f"\n  {scores}")
+    assert scores["benefit_cost"] >= max(scores.values()) - 0.05

@@ -1,0 +1,42 @@
+"""Figures 2-4: the §3 characterization of DNN training memory behaviour."""
+
+import numpy as np
+
+from repro.experiments import (
+    figure2_memory_consumption,
+    figure3_inactive_periods,
+    figure4_size_vs_inactive,
+)
+
+from conftest import run_once
+
+
+def test_fig02_memory_consumption(benchmark, bench_scale):
+    """Figure 2: active tensors need only a small slice of the total footprint."""
+    results = run_once(benchmark, figure2_memory_consumption, scale=bench_scale)
+    assert len(results) == 4
+    for name, series in results.items():
+        active = float(series["mean_active_fraction"])
+        print(f"  {name}: mean active fraction = {active:.3%}")
+        # Observation O1: active tensors are a small share of the footprint.
+        assert active < 0.15
+
+
+def test_fig03_inactive_periods(benchmark, bench_scale):
+    """Figure 3: most inactive periods are far longer than one SSD access."""
+    results = run_once(benchmark, figure3_inactive_periods, scale=bench_scale)
+    for name, lengths in results.items():
+        longer_than_swap = float((lengths > 40e-6).mean())
+        print(f"  {name}: {longer_than_swap:.0%} of periods exceed one SSD round trip")
+        # Observation O2/O3: the majority of periods can hide a swap.
+        assert longer_than_swap > 0.5
+
+
+def test_fig04_size_vs_inactive(benchmark, bench_scale):
+    """Figure 4: tensor sizes and inactive periods both span orders of magnitude."""
+    results = run_once(benchmark, figure4_size_vs_inactive, scale=bench_scale)
+    for name, series in results.items():
+        sizes = series["bytes"]
+        spread = np.log10(sizes.max() / sizes.min())
+        print(f"  {name}: tensor sizes span {spread:.1f} orders of magnitude")
+        assert spread > 2.0

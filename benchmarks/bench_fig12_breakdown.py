@@ -1,0 +1,29 @@
+"""Figure 12: execution-time breakdown into overlapped compute and stalls."""
+
+from repro.experiments import figure12_breakdown, format_table
+
+from conftest import run_once
+
+
+def test_fig12_breakdown(benchmark, bench_scale):
+    results = run_once(benchmark, figure12_breakdown, scale=bench_scale)
+
+    rows = []
+    for model, per_policy in results.items():
+        for policy, split in per_policy.items():
+            rows.append({"model": model, "policy": policy,
+                         "overlap": round(split["overlap"], 3),
+                         "stall": round(split["stall"], 3)})
+    print()
+    print(format_table(rows))
+
+    g10_stalls, deepum_stalls = [], []
+    for model, per_policy in results.items():
+        # G10 always stalls less than demand paging (Figure 12's visual message).
+        assert per_policy["g10"]["stall"] <= per_policy["base_uvm"]["stall"] + 1e-6, model
+        g10_stalls.append(per_policy["g10"]["stall"])
+        deepum_stalls.append(per_policy["deepum"]["stall"])
+        for policy, split in per_policy.items():
+            assert abs(split["overlap"] + split["stall"] - 1.0) < 1e-6
+    # And on average it also stalls less than the correlation prefetcher.
+    assert sum(g10_stalls) / len(g10_stalls) <= sum(deepum_stalls) / len(deepum_stalls) + 0.02

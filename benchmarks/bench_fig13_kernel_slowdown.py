@@ -1,0 +1,28 @@
+"""Figure 13: distribution of per-kernel slowdowns relative to ideal."""
+
+import numpy as np
+
+from repro.experiments import figure13_kernel_slowdown
+
+from conftest import run_once
+
+
+def test_fig13_kernel_slowdown(benchmark, bench_scale):
+    results = run_once(benchmark, figure13_kernel_slowdown, scale=bench_scale)
+
+    print()
+    for model, per_policy in results.items():
+        summary = {
+            policy: f"{(slowdowns > 1.01).mean():.1%} kernels stalled"
+            for policy, slowdowns in per_policy.items()
+        }
+        print(f"  {model}: {summary}")
+        g10_stalled = float((per_policy["g10"] > 1.01).mean())
+        uvm_stalled = float((per_policy["base_uvm"] > 1.01).mean())
+        # The paper: Base UVM stalls far more kernels than G10, which only
+        # slows a small fraction of them.
+        assert g10_stalled <= uvm_stalled
+        assert g10_stalled < 0.40
+        # Slowdowns are always >= 1 by construction.
+        for slowdowns in per_policy.values():
+            assert np.all(slowdowns >= 1.0 - 1e-9)

@@ -1,0 +1,30 @@
+"""Figure 14: tensor migration traffic split between the SSD and host memory."""
+
+from repro.experiments import figure14_traffic, format_table
+
+from conftest import run_once
+
+
+def test_fig14_traffic(benchmark, bench_scale):
+    results = run_once(benchmark, figure14_traffic, scale=bench_scale)
+
+    rows = []
+    for model, per_policy in results.items():
+        for policy, split in per_policy.items():
+            rows.append({"model": model, "policy": policy,
+                         "gpu_ssd_gb": round(split["gpu_ssd_gb"], 1),
+                         "gpu_host_gb": round(split["gpu_host_gb"], 1)})
+    print()
+    print(format_table(rows))
+
+    for model, per_policy in results.items():
+        g10 = per_policy["g10"]
+        # FlashNeuron is GDS-only: all of its traffic goes to the SSD.
+        assert per_policy["flashneuron"]["gpu_host_gb"] == 0.0
+        # G10 moves data (the workloads exceed GPU memory) over both paths.
+        assert g10["gpu_ssd_gb"] + g10["gpu_host_gb"] > 0
+    # Transformers are bandwidth-hungry, so G10 routes most of their traffic
+    # to host memory (the paper's observation about BERT/ViT).
+    bert = results.get("bert")
+    if bert is not None:
+        assert bert["g10"]["gpu_host_gb"] > bert["g10"]["gpu_ssd_gb"]

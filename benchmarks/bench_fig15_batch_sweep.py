@@ -1,0 +1,36 @@
+"""Figure 15: training throughput across batch sizes."""
+
+from repro.experiments import figure15_batch_sweep
+
+from conftest import run_once
+
+
+def test_fig15_batch_sweep(benchmark, bench_scale):
+    # Two representative models keep the sweep quick; pass models=... to widen.
+    results = run_once(
+        benchmark,
+        figure15_batch_sweep,
+        scale=bench_scale,
+        models=("bert", "resnet152"),
+        policies=("base_uvm", "deepum", "g10", "ideal"),
+    )
+
+    print()
+    for model, per_batch in results.items():
+        for batch, throughputs in per_batch.items():
+            pretty = {k: round(v, 1) for k, v in throughputs.items()}
+            print(f"  {model} batch={batch}: {pretty}")
+
+    for model, per_batch in results.items():
+        batches = sorted(per_batch)
+        for batch in batches:
+            t = per_batch[batch]
+            # G10 stays closest to ideal at every batch size.
+            assert t["g10"] >= t["base_uvm"] - 1e-9
+            assert t["g10"] <= t["ideal"] + 1e-6
+        # The gap between ideal and the demand-paging baseline widens as the
+        # batch size (and hence memory pressure) grows.
+        small, large = batches[0], batches[-1]
+        gap_small = per_batch[small]["ideal"] / max(per_batch[small]["base_uvm"], 1e-9)
+        gap_large = per_batch[large]["ideal"] / max(per_batch[large]["base_uvm"], 1e-9)
+        assert gap_large >= gap_small * 0.9

@@ -1,0 +1,30 @@
+"""Figure 16: G10 execution time as the host memory capacity varies."""
+
+from repro.experiments import figure16_host_memory
+
+from conftest import run_once
+
+
+def test_fig16_host_memory(benchmark, bench_scale):
+    results = run_once(
+        benchmark,
+        figure16_host_memory,
+        scale=bench_scale,
+        models=("bert", "vit", "resnet152"),
+        host_memory_gb=(0, 32, 128, 256),
+    )
+
+    print()
+    for model, per_capacity in results.items():
+        pretty = {cap: round(t, 3) for cap, t in per_capacity.items()}
+        print(f"  {model}: execution time by host GB -> {pretty}")
+
+    for model, per_capacity in results.items():
+        capacities = sorted(per_capacity)
+        # More host memory never makes G10 meaningfully slower, and a modest
+        # amount (32 GB) captures most of the benefit (the paper's §7.4 claim).
+        assert per_capacity[capacities[-1]] <= per_capacity[capacities[0]] * 1.05
+        full = per_capacity[capacities[-1]]
+        modest = per_capacity[32]
+        assert modest <= per_capacity[0] * 1.01
+        assert modest <= full * 2.0

@@ -1,0 +1,33 @@
+"""Figure 18: sensitivity to SSD bandwidth (stacking SSDs behind PCIe 4.0)."""
+
+from repro.experiments import figure18_ssd_bandwidth
+
+from conftest import run_once
+
+
+def test_fig18_ssd_bandwidth(benchmark, bench_scale):
+    results = run_once(
+        benchmark,
+        figure18_ssd_bandwidth,
+        scale=bench_scale,
+        models=("bert", "resnet152"),
+        bandwidths_gbs=(6.4, 19.2, 32.0),
+    )
+
+    print()
+    for model, per_bandwidth in results.items():
+        for bandwidth, values in per_bandwidth.items():
+            pretty = {k: round(v, 3) for k, v in values.items()}
+            print(f"  {model} ssd={bandwidth}GB/s: {pretty}")
+
+    for model, per_bandwidth in results.items():
+        bandwidths = sorted(per_bandwidth)
+        # G10 wins at every SSD bandwidth point.
+        for bandwidth in bandwidths:
+            values = per_bandwidth[bandwidth]
+            assert values["g10"] >= values["base_uvm"] - 1e-9
+            assert values["g10"] >= values["deepum"] - 0.03
+        # More SSD bandwidth never hurts G10, and a few stacked SSDs get it
+        # into the top band of ideal performance.
+        assert per_bandwidth[bandwidths[-1]]["g10"] >= per_bandwidth[bandwidths[0]]["g10"] - 0.02
+        assert per_bandwidth[bandwidths[-1]]["g10"] > 0.7

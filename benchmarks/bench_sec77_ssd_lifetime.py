@@ -1,0 +1,26 @@
+"""§7.7: impact of tensor migration traffic on SSD lifetime."""
+
+from repro.experiments import format_table, section77_ssd_lifetime
+
+from conftest import run_once
+
+
+def test_sec77_ssd_lifetime(benchmark, bench_scale):
+    results = run_once(
+        benchmark, section77_ssd_lifetime, scale=bench_scale,
+        models=("bert", "resnet152"),
+    )
+
+    rows = [{"model": model, **{k: round(v, 2) for k, v in values.items()}}
+            for model, values in results.items()]
+    print()
+    print(format_table(rows))
+
+    for model, values in results.items():
+        # G10 never writes more to the SSD than FlashNeuron (which sends all
+        # of its traffic there), so its projected lifetime is at least as long.
+        if "flashneuron_lifetime_years" in values:
+            assert values["g10_lifetime_years"] >= values["flashneuron_lifetime_years"] * 0.95
+        # The projected lifetime stays in the multi-year range the paper argues
+        # makes wear a non-issue.
+        assert values["g10_lifetime_years"] > 1.0

@@ -1,0 +1,16 @@
+"""Table 1: the evaluated DNN models and their kernel counts."""
+
+from repro.experiments import format_table, table1_models
+
+from conftest import run_once
+
+
+def test_table1_models(benchmark, bench_scale):
+    rows = run_once(benchmark, table1_models, scale=bench_scale)
+    print()
+    print(format_table(rows))
+    assert {row["model"] for row in rows} == {
+        "BERT", "ViT", "Inceptionv3", "ResNet152", "SENet154",
+    }
+    # Every headline workload exceeds GPU memory, the premise of the paper.
+    assert all(row["memory_footprint_pct"] > 100 for row in rows)

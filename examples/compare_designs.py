@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Compare every GPU-memory design across the paper's five workloads.
+
+Runs the Figure 11 experiment (plus the Figure 14 traffic breakdown and the
+§7.7 SSD-lifetime estimate for G10) at CI scale and prints the result tables.
+Pass ``--paper`` to run the full paper-scale workloads instead (a few minutes).
+
+Run with:  python examples/compare_designs.py [--paper]
+"""
+
+import argparse
+
+from repro.analysis import estimate_ssd_lifetime, traffic_breakdown
+from repro.experiments import figure11_end_to_end, format_table
+from repro.experiments.harness import build_workload, run_policy
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--paper", action="store_true", help="run the full paper-scale workloads")
+    args = parser.parse_args()
+    scale = "paper" if args.paper else "ci"
+
+    print(f"Running the end-to-end comparison at {scale} scale...\n")
+    results = figure11_end_to_end(scale=scale)
+
+    rows = []
+    for model, values in results.items():
+        row = {"model": model, "M%": round(100 * values.pop("memory_footprint_ratio"))}
+        row.update({name: round(norm, 3) for name, norm in values.items()})
+        rows.append(row)
+    print("Normalized training performance (1.0 = infinite GPU memory):")
+    print(format_table(rows))
+
+    print("\nMigration traffic and SSD lifetime under full G10:")
+    lifetime_rows = []
+    for model in results:
+        workload = build_workload(model, scale=scale)
+        run = run_policy(workload, "g10")
+        breakdown = traffic_breakdown(run)
+        estimate = estimate_ssd_lifetime(run, workload.config.ssd)
+        lifetime_rows.append(
+            {
+                "model": model,
+                "gpu_ssd_gb": round(breakdown.gpu_ssd_gb, 1),
+                "gpu_host_gb": round(breakdown.gpu_host_gb, 1),
+                "ssd_lifetime_years": round(min(estimate.lifetime_years, 1000.0), 1),
+            }
+        )
+    print(format_table(lifetime_rows))
+
+
+if __name__ == "__main__":
+    main()

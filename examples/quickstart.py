@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Quickstart: plan and simulate smart tensor migrations for one workload.
+
+Builds a BERT training iteration whose footprint exceeds the (scaled) GPU
+memory, runs G10's tensor vitality analysis and migration planner, then
+simulates the iteration under the full G10 design and under plain UVM demand
+paging, printing the comparison the paper's Figure 11 makes per workload.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import build_workload, run_policy
+from repro.core import MigrationPlanner
+
+
+def main() -> None:
+    # CI scale keeps the run under a second while preserving the paper's
+    # memory-pressure regime; switch to scale="paper" for the full workloads.
+    workload = build_workload("bert", scale="ci")
+    print(f"Workload: {workload.graph.name}")
+    print(f"  kernels per iteration : {workload.graph.num_kernels}")
+    print(f"  peak memory footprint : {100 * workload.memory_footprint_ratio:.0f}% of GPU memory")
+
+    planner = MigrationPlanner(workload.config)
+    planning = planner.plan_from_report(workload.report)
+    plan = planning.plan
+    print("\nSmart tensor migration plan (compile time):")
+    print(f"  pre-evictions planned : {plan.num_evictions}")
+    print(f"  bytes staged to SSD   : {plan.bytes_to(type(plan.evictions[0].destination).SSD) / 1e9:.1f} GB"
+          if plan.evictions else "  bytes staged to SSD   : 0.0 GB")
+    print(f"  projected peak usage  : {plan.planned_peak_pressure / 1e9:.1f} GB "
+          f"(capacity {plan.gpu_capacity_bytes / 1e9:.1f} GB)")
+
+    print("\nSimulated end-to-end execution of one training iteration:")
+    for policy in ("ideal", "base_uvm", "deepum", "g10"):
+        result = run_policy(workload, policy)
+        print(
+            f"  {result.policy_name:10s} "
+            f"time={result.execution_time:8.3f} s  "
+            f"normalized={result.normalized_performance:5.2f}  "
+            f"stalls={100 * result.stall_fraction:5.1f}%"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""repro — a from-scratch reproduction of G10 (MICRO 2023).
+
+G10 is a unified GPU memory and storage architecture that scales GPU memory
+with flash while hiding the slow flash accesses behind *smart tensor
+migrations* planned at compile time. This package implements the complete
+system in pure Python: the DNN workload substrate, the tensor vitality
+analyzer, the smart migration scheduler, the unified GPU/host/flash memory
+system with an SSD simulator, the execution simulator, the published
+baselines, and the experiment harness that regenerates every figure of the
+paper's evaluation.
+
+Quickstart::
+
+    from repro import build_workload, run_policy
+
+    workload = build_workload("bert", batch_size=64, scale="ci")
+    result = run_policy(workload, "g10")
+    print(result.normalized_performance)
+"""
+
+from .config import (
+    GPUConfig,
+    InterconnectConfig,
+    SSDConfig,
+    SystemConfig,
+    UVMConfig,
+    ci_config,
+    paper_config,
+)
+from .core import MigrationPlanner, TensorVitalityAnalyzer
+from .experiments import build_workload, run_policies, run_policy
+from .graph import DataflowGraph, TrainingGraph, expand_training
+from .models import available_models, build_model
+from .profiling import profile_training_graph
+from .baselines import POLICY_NAMES, make_policy
+from .sim import ExecutionSimulator, SimulationResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GPUConfig",
+    "SSDConfig",
+    "InterconnectConfig",
+    "UVMConfig",
+    "SystemConfig",
+    "paper_config",
+    "ci_config",
+    "MigrationPlanner",
+    "TensorVitalityAnalyzer",
+    "DataflowGraph",
+    "TrainingGraph",
+    "expand_training",
+    "available_models",
+    "build_model",
+    "profile_training_graph",
+    "POLICY_NAMES",
+    "make_policy",
+    "ExecutionSimulator",
+    "SimulationResult",
+    "build_workload",
+    "run_policy",
+    "run_policies",
+    "__version__",
+]

@@ -1,0 +1,48 @@
+"""Migration traffic breakdown (Figure 14)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.results import SimulationResult
+
+
+@dataclass(frozen=True)
+class TrafficBreakdown:
+    """Traffic of one policy run, split by route and direction."""
+
+    policy: str
+    gpu_ssd_gb: float
+    gpu_host_gb: float
+    ssd_read_gb: float
+    ssd_write_gb: float
+    host_read_gb: float
+    host_write_gb: float
+
+    @property
+    def total_gb(self) -> float:
+        return self.gpu_ssd_gb + self.gpu_host_gb
+
+    @property
+    def write_gb(self) -> float:
+        """Bytes leaving the GPU (evictions) in GB."""
+        return self.ssd_write_gb + self.host_write_gb
+
+    @property
+    def read_gb(self) -> float:
+        """Bytes entering the GPU (prefetches and faults) in GB."""
+        return self.ssd_read_gb + self.host_read_gb
+
+
+def traffic_breakdown(result: SimulationResult) -> TrafficBreakdown:
+    """Convert a simulation result's counters into the Figure 14 breakdown."""
+    traffic = result.traffic
+    return TrafficBreakdown(
+        policy=result.policy_name,
+        gpu_ssd_gb=traffic.gpu_ssd_bytes / 1e9,
+        gpu_host_gb=traffic.gpu_host_bytes / 1e9,
+        ssd_read_gb=traffic.ssd_read_bytes / 1e9,
+        ssd_write_gb=traffic.ssd_write_bytes / 1e9,
+        host_read_gb=traffic.host_read_bytes / 1e9,
+        host_write_gb=traffic.host_write_bytes / 1e9,
+    )

@@ -1,0 +1,31 @@
+"""Migration policies: G10 variants and the published baselines.
+
+The evaluation (§7) compares seven designs; each is a
+:class:`~repro.sim.policy.MigrationPolicy`:
+
+* :class:`IdealPolicy` — infinite GPU memory (upper bound).
+* :class:`BaseUVMPolicy` — demand paging with LRU eviction only.
+* :class:`DeepUMPolicy` — UVM plus a correlation prefetcher (DeepUM+).
+* :class:`FlashNeuronPolicy` — compile-time selective offload of intermediate
+  tensors over GPUDirect Storage only.
+* :class:`G10Policy` — the full system, plus the G10-GDS and G10-Host
+  variants via :func:`make_policy`.
+"""
+
+from .ideal import IdealPolicy
+from .base_uvm import BaseUVMPolicy
+from .deepum import DeepUMPolicy
+from .flashneuron import FlashNeuronPolicy
+from .g10 import G10Policy, G10Variant
+from .factory import POLICY_NAMES, make_policy
+
+__all__ = [
+    "IdealPolicy",
+    "BaseUVMPolicy",
+    "DeepUMPolicy",
+    "FlashNeuronPolicy",
+    "G10Policy",
+    "G10Variant",
+    "POLICY_NAMES",
+    "make_policy",
+]

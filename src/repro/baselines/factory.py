@@ -1,0 +1,44 @@
+"""Factory for constructing policies by name (used by the experiment harness)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ConfigurationError
+from ..sim.policy import MigrationPolicy
+from .base_uvm import BaseUVMPolicy
+from .deepum import DeepUMPolicy
+from .flashneuron import FlashNeuronPolicy
+from .g10 import G10Policy, G10Variant
+from .ideal import IdealPolicy
+
+_FACTORIES: dict[str, Callable[[], MigrationPolicy]] = {
+    "ideal": IdealPolicy,
+    "base_uvm": BaseUVMPolicy,
+    "deepum": DeepUMPolicy,
+    "flashneuron": FlashNeuronPolicy,
+    "g10_gds": lambda: G10Policy(G10Variant.GDS),
+    "g10_host": lambda: G10Policy(G10Variant.HOST),
+    "g10": lambda: G10Policy(G10Variant.FULL),
+}
+
+#: Canonical policy names in the order the paper's figures present them.
+POLICY_NAMES: tuple[str, ...] = (
+    "ideal",
+    "base_uvm",
+    "flashneuron",
+    "deepum",
+    "g10_gds",
+    "g10_host",
+    "g10",
+)
+
+
+def make_policy(name: str) -> MigrationPolicy:
+    """Construct a fresh policy instance by canonical name."""
+    key = name.lower().replace("-", "_").replace(" ", "_").replace("+", "")
+    if key not in _FACTORIES:
+        raise ConfigurationError(
+            f"unknown policy {name!r}; available: {sorted(_FACTORIES)}"
+        )
+    return _FACTORIES[key]()

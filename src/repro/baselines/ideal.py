@@ -1,0 +1,27 @@
+"""The ideal baseline: a GPU with unlimited on-board memory."""
+
+from __future__ import annotations
+
+from ..graph.kernel import Kernel
+from ..sim.policy import MigrationDecision, MigrationPolicy
+
+
+class IdealPolicy(MigrationPolicy):
+    """Upper bound used to normalise every result: nothing ever migrates."""
+
+    name = "Ideal"
+    enforce_capacity = False
+
+    def per_request_overhead(self) -> float:
+        return 0.0
+
+    def prefetches_for(self, kernel: Kernel, now: float) -> list[MigrationDecision]:
+        return []
+
+    def evictions_for(self, kernel: Kernel, now: float) -> list[MigrationDecision]:
+        return []
+
+    def select_victims(
+        self, needed_bytes: int, protected: set[int], resident: list[int], now: float
+    ) -> list[MigrationDecision]:
+        return []

@@ -1,0 +1,189 @@
+"""Compile-time channel bandwidth bookkeeping for the migration scheduler.
+
+The scheduler plans transfers against a *fluid* model of the I/O channels: each
+kernel slot ``k`` offers ``duration(k) * bandwidth`` bytes of capacity per
+channel, and planned transfers consume that capacity slot by slot. This is the
+compile-time counterpart of the runtime transfer engine in ``repro.sim``.
+
+Channels:
+
+* ``ssd_write`` / ``ssd_read`` — the SSD's internal flash bandwidth;
+* ``pcie_out`` / ``pcie_in`` — the GPU's PCIe link (shared by SSD and host
+  traffic), one budget per direction.
+
+A GPU->SSD eviction consumes ``ssd_write`` **and** ``pcie_out``; a host-bound
+eviction consumes only ``pcie_out``; prefetches mirror this on the read side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..errors import SchedulingError
+
+
+class Direction(Enum):
+    """Transfer direction relative to the GPU."""
+
+    OUT = "out"  # eviction: GPU -> SSD/host
+    IN = "in"  # prefetch: SSD/host -> GPU
+
+
+@dataclass
+class _Channel:
+    """Remaining capacity (bytes) per kernel slot for one physical channel."""
+
+    name: str
+    available: np.ndarray
+
+    def utilization(self, capacity: np.ndarray) -> np.ndarray:
+        with np.errstate(divide="ignore", invalid="ignore"):
+            used = 1.0 - np.where(capacity > 0, self.available / capacity, 1.0)
+        return np.clip(used, 0.0, 1.0)
+
+
+class ChannelSchedule:
+    """Tracks planned bandwidth consumption across kernel slots."""
+
+    def __init__(self, slot_durations: np.ndarray, config: SystemConfig):
+        durations = np.asarray(slot_durations, dtype=np.float64)
+        if durations.ndim != 1 or len(durations) == 0:
+            raise SchedulingError("slot durations must be a non-empty 1-D array")
+        if (durations <= 0).any():
+            raise SchedulingError("every kernel slot must have positive duration")
+        self._durations = durations
+        self._config = config
+        self._capacities: dict[str, np.ndarray] = {
+            "ssd_write": durations * config.ssd.write_bandwidth,
+            "ssd_read": durations * config.ssd.read_bandwidth,
+            "pcie_out": durations * config.interconnect.bandwidth,
+            "pcie_in": durations * config.interconnect.bandwidth,
+        }
+        self._channels = {
+            name: _Channel(name, capacity.copy()) for name, capacity in self._capacities.items()
+        }
+
+    # -- helpers -----------------------------------------------------------
+
+    @property
+    def num_slots(self) -> int:
+        return len(self._durations)
+
+    def slot_duration(self, slot: int) -> float:
+        return float(self._durations[slot])
+
+    def _channels_for(self, to_ssd: bool, direction: Direction) -> list[_Channel]:
+        names = ["pcie_out" if direction is Direction.OUT else "pcie_in"]
+        if to_ssd:
+            names.append("ssd_write" if direction is Direction.OUT else "ssd_read")
+        return [self._channels[n] for n in names]
+
+    def utilization(self, channel: str) -> np.ndarray:
+        """Per-slot utilization in [0, 1] of one channel."""
+        if channel not in self._channels:
+            raise SchedulingError(f"unknown channel {channel!r}")
+        return self._channels[channel].utilization(self._capacities[channel])
+
+    def available_bytes(self, to_ssd: bool, direction: Direction, slots: np.ndarray) -> np.ndarray:
+        """Per-slot bytes still schedulable for a transfer of the given kind."""
+        channels = self._channels_for(to_ssd, direction)
+        available = channels[0].available[slots].copy()
+        for channel in channels[1:]:
+            available = np.minimum(available, channel.available[slots])
+        return available
+
+    # -- planning -----------------------------------------------------------
+
+    def probe_forward(
+        self, size_bytes: float, start_slot: int, end_slot: int, to_ssd: bool,
+        direction: Direction = Direction.OUT,
+    ) -> int | None:
+        """Earliest slot by which a transfer starting at ``start_slot`` completes.
+
+        Returns the completion slot (inclusive), or ``None`` if the transfer
+        cannot finish before ``end_slot`` (exclusive) with the remaining
+        channel capacity. Does not reserve anything.
+        """
+        remaining = float(size_bytes)
+        for slot in range(start_slot, min(end_slot, self.num_slots)):
+            available = self.available_bytes(to_ssd, direction, np.array([slot]))[0]
+            remaining -= available
+            if remaining <= 0:
+                return slot
+        return None
+
+    def probe_backward(
+        self, size_bytes: float, end_slot: int, start_slot: int, to_ssd: bool,
+        direction: Direction = Direction.IN,
+    ) -> int | None:
+        """Latest slot at which a transfer can start and still finish by ``end_slot``.
+
+        Scans backwards from ``end_slot - 1`` down to ``start_slot`` (inclusive)
+        consuming remaining capacity; returns the start slot or ``None`` if the
+        window is too congested.
+        """
+        remaining = float(size_bytes)
+        for slot in range(min(end_slot, self.num_slots) - 1, max(start_slot, 0) - 1, -1):
+            available = self.available_bytes(to_ssd, direction, np.array([slot]))[0]
+            remaining -= available
+            if remaining <= 0:
+                return slot
+        return None
+
+    def reserve(
+        self,
+        size_bytes: float,
+        start_slot: int,
+        to_ssd: bool,
+        direction: Direction,
+        end_slot: int | None = None,
+    ) -> int:
+        """Consume channel capacity for a transfer beginning at ``start_slot``.
+
+        Returns the completion slot. If ``end_slot`` is given and the transfer
+        cannot complete before it, a :class:`SchedulingError` is raised (the
+        caller should have probed first).
+        """
+        remaining = float(size_bytes)
+        limit = self.num_slots if end_slot is None else min(end_slot, self.num_slots)
+        channels = self._channels_for(to_ssd, direction)
+        for slot in range(start_slot, limit):
+            available = min(float(c.available[slot]) for c in channels)
+            take = min(available, remaining)
+            if take > 0:
+                for channel in channels:
+                    channel.available[slot] -= take
+                remaining -= take
+            if remaining <= 1e-9:
+                return slot
+        if end_slot is None and remaining > 1e-9:
+            # Spill into the final slot: the transfer finishes late, after the
+            # iteration's last kernel. Record it against the last slot.
+            return self.num_slots - 1
+        raise SchedulingError(
+            "transfer could not be reserved in the requested window; probe first"
+        )
+
+    def transfer_time(self, size_bytes: float, to_ssd: bool, direction: Direction) -> float:
+        """Unloaded latency of one transfer (used for the cost term of Algorithm 1)."""
+        pcie_bw = self._config.interconnect.bandwidth
+        if to_ssd:
+            ssd_bw = (
+                self._config.ssd.write_bandwidth
+                if direction is Direction.OUT
+                else self._config.ssd.read_bandwidth
+            )
+            ssd_lat = (
+                self._config.ssd.write_latency
+                if direction is Direction.OUT
+                else self._config.ssd.read_latency
+            )
+            bandwidth = min(pcie_bw, ssd_bw)
+            return ssd_lat + self._config.interconnect.latency + size_bytes / bandwidth
+        return self._config.interconnect.latency + size_bytes / min(
+            pcie_bw, self._config.host_bandwidth
+        )

@@ -1,0 +1,325 @@
+"""Smart tensor eviction scheduling — Algorithm 1 of the paper (§4.3).
+
+The scheduler iteratively selects the inactive period with the highest
+benefit/cost ratio, chooses a destination (SSD first, host memory when the SSD
+write path is saturated), reserves channel bandwidth for the eviction and the
+matching just-in-time prefetch, and updates the projected memory-pressure
+curve. It stops once the projected pressure fits in GPU memory or no further
+candidate is beneficial.
+
+Because evictions only ever *reduce* the over-capacity region, each candidate's
+benefit is monotonically non-increasing as the schedule grows; the scheduler
+therefore uses a lazy-greedy priority queue (re-evaluating a candidate only
+when it reaches the top of the heap), which keeps the search fast without
+changing the result of the paper's iterative argmax.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..errors import SchedulingError
+from .bandwidth import ChannelSchedule, Direction
+from .plan import MigrationDestination, MigrationPlan, PlannedEviction, PlannedPrefetch
+from .pressure import MemoryPressureTimeline, period_slot_indices
+from .vitality import InactivePeriod, VitalityReport
+
+
+@dataclass(frozen=True)
+class EvictionPolicyConfig:
+    """Knobs that differentiate the G10 variants and the ablations.
+
+    Attributes:
+        allow_ssd: Permit SSD as an eviction destination (disabled only in
+            ablations; every published variant keeps it on).
+        allow_host: Permit host memory as a destination (off for G10-GDS).
+        ssd_saturation_threshold: Fraction of the SSD write capacity already
+            reserved in the eviction window above which the scheduler prefers
+            host memory (the "to_ssd_traffic is full" test of Algorithm 1).
+        ranking: Candidate ordering — ``"benefit_cost"`` (the paper),
+            ``"largest_tensor"`` or ``"longest_period"`` (ablations).
+        max_iterations: Safety bound on scheduling iterations.
+    """
+
+    allow_ssd: bool = True
+    allow_host: bool = True
+    ssd_saturation_threshold: float = 0.90
+    ranking: str = "benefit_cost"
+    max_iterations: int | None = None
+
+    def __post_init__(self) -> None:
+        if not (self.allow_ssd or self.allow_host):
+            raise SchedulingError("at least one eviction destination must be allowed")
+        if not 0 < self.ssd_saturation_threshold <= 1:
+            raise SchedulingError("ssd_saturation_threshold must be in (0, 1]")
+        if self.ranking not in ("benefit_cost", "largest_tensor", "longest_period"):
+            raise SchedulingError(f"unknown ranking {self.ranking!r}")
+
+
+@dataclass
+class _ScheduledMigration:
+    """Internal record of one accepted eviction/prefetch pair."""
+
+    period: InactivePeriod
+    destination: MigrationDestination
+    eviction_issue: int
+    eviction_complete: int
+    prefetch_issue: int
+    prefetch_deadline: int
+
+
+class SmartEvictionScheduler:
+    """Plans pre-evictions and just-in-time prefetches for one training iteration."""
+
+    def __init__(
+        self,
+        report: VitalityReport,
+        config: SystemConfig,
+        policy: EvictionPolicyConfig | None = None,
+    ):
+        self._report = report
+        self._config = config
+        self._policy = policy or EvictionPolicyConfig()
+        self._num_slots = report.num_slots
+        durations = np.asarray([k.duration for k in report.graph.kernels], dtype=np.float64)
+        self._pressure = MemoryPressureTimeline(
+            report.baseline_pressure, config.gpu.memory_bytes
+        )
+        self._channels = ChannelSchedule(durations, config)
+        self._host_used = np.zeros(self._num_slots, dtype=np.float64)
+        self._host_capacity = float(config.host_memory_bytes)
+
+    # -- public API ----------------------------------------------------------
+
+    @property
+    def pressure(self) -> MemoryPressureTimeline:
+        return self._pressure
+
+    @property
+    def channels(self) -> ChannelSchedule:
+        return self._channels
+
+    def schedule(self) -> MigrationPlan:
+        """Run Algorithm 1 and return the migration plan."""
+        candidates = [p for p in self._report.periods if p.num_free_slots > 0]
+        heap: list[tuple[float, int, InactivePeriod]] = []
+        counter = itertools.count()
+        for period in candidates:
+            score = self._score(period)
+            heapq.heappush(heap, (-score, next(counter), period))
+
+        accepted: list[_ScheduledMigration] = []
+        max_iterations = self._policy.max_iterations or 20 * max(len(candidates), 1)
+        iterations = 0
+
+        while heap and not self._pressure.fits() and iterations < max_iterations:
+            iterations += 1
+            neg_score, _, period = heapq.heappop(heap)
+            fresh_score = self._score(period)
+            if heap and fresh_score < -heap[0][0] - 1e-12:
+                # Stale entry: benefit shrank since it was pushed; re-queue.
+                heapq.heappush(heap, (-fresh_score, next(counter), period))
+                continue
+            if self._benefit(period) <= 0.0:
+                # The best remaining candidate no longer reduces any excess.
+                break
+            migration = self._try_schedule(period)
+            if migration is not None:
+                accepted.append(migration)
+
+        return self._build_plan(accepted)
+
+    # -- candidate evaluation ---------------------------------------------------
+
+    def _benefit(self, period: InactivePeriod) -> float:
+        return self._pressure.eviction_benefit(period)
+
+    def _cost(self, period: InactivePeriod) -> float:
+        evict = self._channels.transfer_time(period.size_bytes, to_ssd=True, direction=Direction.OUT)
+        fetch = self._channels.transfer_time(period.size_bytes, to_ssd=True, direction=Direction.IN)
+        return evict + fetch
+
+    def _score(self, period: InactivePeriod) -> float:
+        ranking = self._policy.ranking
+        if ranking == "largest_tensor":
+            return float(period.size_bytes)
+        if ranking == "longest_period":
+            return float(period.num_free_slots)
+        cost = self._cost(period)
+        if cost <= 0:
+            return float("inf")
+        return self._benefit(period) / cost
+
+    # -- scheduling of one candidate ---------------------------------------------
+
+    def _windows(self, period: InactivePeriod) -> tuple[range, range] | None:
+        """Eviction and prefetch windows (kernel-slot ranges) for a period."""
+        n = self._num_slots
+        if period.wraps_around:
+            evict_window = range(min(period.start_slot + 1, n - 1), n)
+            fetch_window = range(0, max(period.end_slot - n, 0))
+        else:
+            evict_window = range(period.start_slot + 1, period.end_slot)
+            fetch_window = evict_window
+        if len(evict_window) == 0 or len(fetch_window) == 0:
+            return None
+        return evict_window, fetch_window
+
+    def _ssd_saturated(self, start_slot: int, size_bytes: float) -> bool:
+        """The paper's "to_ssd_traffic is full during t_r .. t_r + t_s" test."""
+        write_bw = self._config.ssd.write_bandwidth
+        ideal_seconds = size_bytes / write_bw
+        end_slot = start_slot
+        elapsed = 0.0
+        while end_slot < self._num_slots - 1 and elapsed < ideal_seconds:
+            elapsed += self._channels.slot_duration(end_slot)
+            end_slot += 1
+        window = np.arange(start_slot, end_slot + 1)
+        utilization = self._channels.utilization("ssd_write")[window]
+        return bool(utilization.mean() >= self._policy.ssd_saturation_threshold)
+
+    def _host_has_room(self, period: InactivePeriod) -> bool:
+        slots = period_slot_indices(period, self._num_slots)
+        if slots.size == 0:
+            return False
+        return bool(
+            (self._host_used[slots] + period.size_bytes <= self._host_capacity).all()
+        )
+
+    def _probe_destination(
+        self, period: InactivePeriod, to_ssd: bool
+    ) -> tuple[int, int, int] | None:
+        """Check feasibility of one destination; return (evict_complete, prefetch_issue, deadline)."""
+        windows = self._windows(period)
+        if windows is None:
+            return None
+        evict_window, fetch_window = windows
+        evict_start = evict_window.start
+        n = self._num_slots
+        deadline = period.end_slot if not period.wraps_around else period.end_slot - n
+
+        complete = self._channels.probe_forward(
+            period.size_bytes, evict_start, evict_window.stop, to_ssd, Direction.OUT
+        )
+        if complete is None:
+            return None
+        fetch_floor = fetch_window.start if period.wraps_around else complete + 1
+        prefetch_issue = self._channels.probe_backward(
+            period.size_bytes, fetch_window.stop, fetch_floor, to_ssd, Direction.IN
+        )
+        if prefetch_issue is None:
+            return None
+        if not period.wraps_around and prefetch_issue <= complete:
+            # The tensor would need to start coming back before it finished
+            # leaving; the migration would not reduce pressure at all.
+            return None
+        return complete, prefetch_issue, deadline
+
+    def _try_schedule(self, period: InactivePeriod) -> _ScheduledMigration | None:
+        policy = self._policy
+        windows = self._windows(period)
+        if windows is None:
+            return None
+        evict_window, fetch_window = windows
+
+        ssd_probe = self._probe_destination(period, to_ssd=True) if policy.allow_ssd else None
+        host_probe = self._probe_destination(period, to_ssd=False) if policy.allow_host else None
+
+        destination: MigrationDestination | None = None
+        probe: tuple[int, int, int] | None = None
+        host_ok = host_probe is not None and self._host_has_room(period)
+        if ssd_probe is not None:
+            saturated = self._ssd_saturated(evict_window.start, period.size_bytes)
+            if saturated and host_ok:
+                destination, probe = MigrationDestination.HOST, host_probe
+            else:
+                destination, probe = MigrationDestination.SSD, ssd_probe
+        elif host_ok:
+            destination, probe = MigrationDestination.HOST, host_probe
+
+        if destination is None or probe is None:
+            return None
+
+        to_ssd = destination is MigrationDestination.SSD
+        complete, prefetch_issue, deadline = probe
+
+        # Reserve bandwidth for both legs of the migration.
+        self._channels.reserve(
+            period.size_bytes, evict_window.start, to_ssd, Direction.OUT, evict_window.stop
+        )
+        self._channels.reserve(
+            period.size_bytes, prefetch_issue, to_ssd, Direction.IN, fetch_window.stop
+        )
+
+        # Update projected memory pressure for the slots the tensor is absent.
+        absent = self._absent_slots(period, complete, prefetch_issue)
+        self._pressure.apply_eviction(period, absent)
+        if destination is MigrationDestination.HOST and absent.size:
+            self._host_used[absent] += period.size_bytes
+
+        return _ScheduledMigration(
+            period=period,
+            destination=destination,
+            eviction_issue=period.start_slot,
+            eviction_complete=complete,
+            prefetch_issue=prefetch_issue,
+            prefetch_deadline=deadline,
+        )
+
+    def _absent_slots(
+        self, period: InactivePeriod, eviction_complete: int, prefetch_issue: int
+    ) -> np.ndarray:
+        n = self._num_slots
+        if not period.wraps_around:
+            return np.arange(eviction_complete + 1, prefetch_issue, dtype=np.int64)
+        tail = np.arange(eviction_complete + 1, n, dtype=np.int64)
+        head = np.arange(0, prefetch_issue, dtype=np.int64)
+        return np.concatenate([tail, head])
+
+    # -- plan assembly ------------------------------------------------------------
+
+    def _build_plan(self, accepted: list[_ScheduledMigration]) -> MigrationPlan:
+        n = self._num_slots
+        evictions: list[PlannedEviction] = []
+        prefetches: list[PlannedPrefetch] = []
+        for migration in accepted:
+            period = migration.period
+            evictions.append(
+                PlannedEviction(
+                    tensor_id=period.tensor_id,
+                    size_bytes=period.size_bytes,
+                    destination=migration.destination,
+                    issue_slot=migration.eviction_issue,
+                    expected_completion_slot=migration.eviction_complete,
+                    period=period,
+                )
+            )
+            deadline = period.end_slot if not period.wraps_around else period.end_slot
+            prefetches.append(
+                PlannedPrefetch(
+                    tensor_id=period.tensor_id,
+                    size_bytes=period.size_bytes,
+                    source=migration.destination,
+                    issue_slot=migration.prefetch_issue
+                    if not period.wraps_around
+                    else migration.prefetch_issue + n,
+                    latest_safe_slot=migration.prefetch_issue
+                    if not period.wraps_around
+                    else migration.prefetch_issue + n,
+                    deadline_slot=deadline,
+                    period=period,
+                )
+            )
+        return MigrationPlan(
+            gpu_capacity_bytes=float(self._config.gpu.memory_bytes),
+            num_slots=n,
+            evictions=evictions,
+            prefetches=prefetches,
+            planned_peak_pressure=self._pressure.peak,
+            fits_in_gpu=self._pressure.fits(),
+        )

@@ -1,0 +1,82 @@
+"""Code instrumentation: render the migration plan as a G10 program (Figure 9).
+
+G10 inserts four instructions into the compiled GPU program:
+
+* ``g10_alloc(ptr, size)``    — asynchronous allocation before first use;
+* ``g10_free(ptr)``           — asynchronous free after last use;
+* ``g10_pre_evict(vaddr, size, target)`` — planned eviction after a kernel;
+* ``g10_prefetch(vaddr, size)``          — planned prefetch before a kernel.
+
+The executor consumes the structured :class:`MigrationPlan` directly; this
+module produces the human-readable instrumented listing, which the examples
+print and which is handy when debugging a schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..graph.training import TrainingGraph
+from .plan import MigrationPlan
+from .vitality import VitalityReport
+
+
+@dataclass
+class InstrumentedProgram:
+    """The instrumented kernel listing for one training iteration."""
+
+    model_name: str
+    lines: list[str] = field(default_factory=list)
+
+    def text(self) -> str:
+        """The full program as a single string."""
+        return "\n".join(self.lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience only
+        return self.text()
+
+    @property
+    def num_instructions(self) -> int:
+        """Number of inserted g10_* instructions (excluding kernel launches)."""
+        return sum(1 for line in self.lines if line.lstrip().startswith("g10_"))
+
+
+def instrument_program(
+    graph: TrainingGraph, report: VitalityReport, plan: MigrationPlan
+) -> InstrumentedProgram:
+    """Interleave kernel launches with g10_* instructions according to the plan."""
+    program = InstrumentedProgram(model_name=graph.name)
+    lines = program.lines
+
+    prefetches_by_slot = plan.prefetches_by_slot()
+    evictions_by_slot = plan.evictions_by_slot()
+
+    births: dict[int, list[int]] = {}
+    deaths: dict[int, list[int]] = {}
+    for usage in report.usages.values():
+        if usage.is_global:
+            continue
+        births.setdefault(usage.birth_slot, []).append(usage.tensor_id)
+        deaths.setdefault(usage.death_slot, []).append(usage.tensor_id)
+
+    for kernel in graph.kernels:
+        slot = kernel.index
+        for tid in births.get(slot, ()):
+            tensor = graph.tensor(tid)
+            lines.append(f"g10_alloc(&tensor{tid}, {tensor.size_bytes});")
+        for prefetch in prefetches_by_slot.get(slot, ()):
+            lines.append(
+                f"g10_prefetch(tensor{prefetch.tensor_id}, {prefetch.size_bytes});"
+            )
+        args = ", ".join(f"tensor{tid}" for tid in kernel.tensor_ids)
+        lines.append(f"// Kernel {slot} {kernel.phase.value}")
+        lines.append(f"{kernel.name.replace('.', '_')}({args});")
+        for eviction in evictions_by_slot.get(slot, ()):
+            target = eviction.destination.value.upper()
+            lines.append(
+                f"g10_pre_evict(tensor{eviction.tensor_id}, {eviction.size_bytes}, {target});"
+            )
+        for tid in deaths.get(slot, ()):
+            lines.append(f"g10_free(tensor{tid});")
+
+    return program

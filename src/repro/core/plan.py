@@ -1,0 +1,137 @@
+"""Migration plan data structures shared by the scheduler and the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..errors import SchedulingError
+from .vitality import InactivePeriod
+
+
+class MigrationDestination(Enum):
+    """Where an evicted tensor is staged."""
+
+    SSD = "ssd"
+    HOST = "host"
+
+
+@dataclass(frozen=True)
+class PlannedEviction:
+    """One ``g10_pre_evict`` decision.
+
+    The eviction is issued right after kernel ``issue_slot`` finishes (the last
+    kernel that used the tensor before this inactive period).
+    """
+
+    tensor_id: int
+    size_bytes: int
+    destination: MigrationDestination
+    issue_slot: int
+    #: Kernel slot by which the planner expects the transfer to drain.
+    expected_completion_slot: int
+    period: InactivePeriod
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise SchedulingError("planned eviction must move a positive number of bytes")
+        if self.expected_completion_slot < self.issue_slot:
+            raise SchedulingError("eviction cannot complete before it is issued")
+
+
+@dataclass(frozen=True)
+class PlannedPrefetch:
+    """One ``g10_prefetch`` decision.
+
+    The prefetch is issued at the start of kernel ``issue_slot`` so the tensor
+    is resident again before kernel ``deadline_slot`` (the next use) starts.
+    ``latest_safe_slot`` records where the default (just-in-time) policy would
+    have placed it; the eager prefetcher may move ``issue_slot`` earlier.
+    """
+
+    tensor_id: int
+    size_bytes: int
+    source: MigrationDestination
+    issue_slot: int
+    latest_safe_slot: int
+    deadline_slot: int
+    period: InactivePeriod
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise SchedulingError("planned prefetch must move a positive number of bytes")
+        if self.issue_slot > self.latest_safe_slot:
+            raise SchedulingError("prefetch issued later than its latest safe slot")
+
+
+@dataclass
+class MigrationPlan:
+    """The complete compile-time migration plan for one training iteration."""
+
+    gpu_capacity_bytes: float
+    #: Number of kernel slots in the iteration the plan was built for.
+    num_slots: int = 0
+    evictions: list[PlannedEviction] = field(default_factory=list)
+    prefetches: list[PlannedPrefetch] = field(default_factory=list)
+    #: Peak planned memory pressure after applying the plan (bytes).
+    planned_peak_pressure: float = 0.0
+    #: True when the planner drove pressure below GPU capacity everywhere.
+    fits_in_gpu: bool = False
+
+    def __post_init__(self) -> None:
+        if self.gpu_capacity_bytes <= 0:
+            raise SchedulingError("plan must reference a positive GPU capacity")
+
+    # -- lookups used by the executor ---------------------------------------
+
+    def evictions_by_slot(self) -> dict[int, list[PlannedEviction]]:
+        """Group evictions by the kernel slot after which they are issued."""
+        grouped: dict[int, list[PlannedEviction]] = {}
+        for eviction in self.evictions:
+            grouped.setdefault(eviction.issue_slot, []).append(eviction)
+        return grouped
+
+    def prefetches_by_slot(self) -> dict[int, list[PlannedPrefetch]]:
+        """Group prefetches by the kernel slot at whose start they are issued.
+
+        Wrap-around prefetches carry slots beyond the iteration length; the
+        executor issues them at the equivalent slot of the next iteration, so
+        they are folded back onto the per-iteration axis here.
+        """
+        slots = max(self.num_slots, 1)
+        grouped: dict[int, list[PlannedPrefetch]] = {}
+        for prefetch in self.prefetches:
+            grouped.setdefault(prefetch.issue_slot % slots, []).append(prefetch)
+        return grouped
+
+    # -- statistics ----------------------------------------------------------
+
+    @property
+    def num_evictions(self) -> int:
+        return len(self.evictions)
+
+    @property
+    def num_prefetches(self) -> int:
+        return len(self.prefetches)
+
+    def bytes_to(self, destination: MigrationDestination) -> int:
+        """Total bytes planned to be evicted to one destination."""
+        return sum(e.size_bytes for e in self.evictions if e.destination is destination)
+
+    def eviction_for_period(self, period: InactivePeriod) -> PlannedEviction | None:
+        """Find the eviction covering a given inactive period, if any."""
+        for eviction in self.evictions:
+            if eviction.period == period:
+                return eviction
+        return None
+
+    def summary(self) -> dict[str, float | int | bool]:
+        """Compact statistics for reports and tests."""
+        return {
+            "evictions": self.num_evictions,
+            "prefetches": self.num_prefetches,
+            "bytes_to_ssd": self.bytes_to(MigrationDestination.SSD),
+            "bytes_to_host": self.bytes_to(MigrationDestination.HOST),
+            "planned_peak_pressure": self.planned_peak_pressure,
+            "fits_in_gpu": self.fits_in_gpu,
+        }

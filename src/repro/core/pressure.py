@@ -1,0 +1,108 @@
+"""GPU memory pressure timeline used by the compile-time scheduler (§4.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SchedulingError
+from .vitality import InactivePeriod
+
+
+def period_slot_indices(period: InactivePeriod, num_slots: int) -> np.ndarray:
+    """Kernel-slot indices covered by a period's free interval.
+
+    Wrap-around periods cover the tail of this iteration plus the head of the
+    next; both map onto the same per-iteration slot axis.
+    """
+    if not period.wraps_around:
+        return np.arange(period.start_slot + 1, period.end_slot, dtype=np.int64)
+    tail = np.arange(period.start_slot + 1, num_slots, dtype=np.int64)
+    head = np.arange(0, period.end_slot - num_slots, dtype=np.int64)
+    return np.concatenate([tail, head])
+
+
+class MemoryPressureTimeline:
+    """Tracks estimated GPU memory pressure per kernel slot.
+
+    The scheduler evaluates eviction candidates against this curve: the
+    *benefit* of evicting a tensor during a period is the amount by which the
+    over-capacity region shrinks (the shaded area in Figure 7).
+    """
+
+    def __init__(self, baseline_pressure: np.ndarray, capacity_bytes: float):
+        if capacity_bytes <= 0:
+            raise SchedulingError("GPU capacity must be positive")
+        self._pressure = np.asarray(baseline_pressure, dtype=np.float64).copy()
+        if self._pressure.ndim != 1 or len(self._pressure) == 0:
+            raise SchedulingError("baseline pressure must be a non-empty 1-D array")
+        self._capacity = float(capacity_bytes)
+
+    # -- views -------------------------------------------------------------
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    @property
+    def num_slots(self) -> int:
+        return len(self._pressure)
+
+    @property
+    def pressure(self) -> np.ndarray:
+        """A read-only copy of the current pressure curve."""
+        return self._pressure.copy()
+
+    @property
+    def peak(self) -> float:
+        return float(self._pressure.max())
+
+    @property
+    def excess(self) -> np.ndarray:
+        """Per-slot bytes above GPU capacity."""
+        return np.maximum(self._pressure - self._capacity, 0.0)
+
+    @property
+    def total_excess(self) -> float:
+        """Integral (over slots) of the over-capacity region."""
+        return float(self.excess.sum())
+
+    def fits(self) -> bool:
+        """True once the projected pressure never exceeds GPU capacity."""
+        return bool(self.peak <= self._capacity)
+
+    def slot_pressure(self, slot: int) -> float:
+        return float(self._pressure[slot])
+
+    def headroom(self, slots: np.ndarray) -> np.ndarray:
+        """Free bytes below capacity for the given slots (can be negative)."""
+        return self._capacity - self._pressure[slots]
+
+    # -- benefit evaluation --------------------------------------------------
+
+    def eviction_benefit(self, period: InactivePeriod) -> float:
+        """Critical memory-pressure reduction of evicting a tensor during ``period``.
+
+        Matches the paper's definition: the area of the over-capacity region
+        removed if the tensor is absent during its inactive period.
+        """
+        slots = period_slot_indices(period, self.num_slots)
+        if slots.size == 0:
+            return 0.0
+        excess = np.maximum(self._pressure[slots] - self._capacity, 0.0)
+        return float(np.minimum(excess, period.size_bytes).sum())
+
+    # -- mutation --------------------------------------------------------------
+
+    def apply_eviction(self, period: InactivePeriod, absent_slots: np.ndarray) -> None:
+        """Reduce pressure for the slots during which the tensor is actually absent."""
+        if absent_slots.size == 0:
+            return
+        self._pressure[absent_slots] -= period.size_bytes
+        if (self._pressure[absent_slots] < -1e-6).any():
+            raise SchedulingError("pressure became negative; eviction applied twice?")
+
+    def add_bytes(self, slots: np.ndarray, nbytes: float) -> None:
+        """Add ``nbytes`` of residency for the given slots (prefetch moved earlier)."""
+        if slots.size == 0:
+            return
+        self._pressure[slots] += nbytes

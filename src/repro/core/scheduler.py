@@ -1,0 +1,59 @@
+"""End-to-end migration planning: vitality analysis -> eviction -> prefetch."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import SystemConfig
+from ..graph.training import TrainingGraph
+from .eviction import EvictionPolicyConfig, SmartEvictionScheduler
+from .plan import MigrationPlan
+from .prefetch import SmartPrefetcher
+from .vitality import TensorVitalityAnalyzer, VitalityReport
+
+
+@dataclass
+class PlanningResult:
+    """The migration plan plus the analysis artifacts it was derived from."""
+
+    plan: MigrationPlan
+    report: VitalityReport
+    #: Peak projected memory pressure before any migration was scheduled.
+    baseline_peak_pressure: float
+    #: Peak projected memory pressure after eviction + prefetch planning.
+    planned_peak_pressure: float
+
+
+@dataclass
+class MigrationPlanner:
+    """G10's compile-time planner (§4.2-§4.4) as a single front door.
+
+    Attributes:
+        config: System configuration (GPU capacity, bandwidths, host memory).
+        policy: Eviction policy knobs; defaults reproduce full G10. Use
+            ``EvictionPolicyConfig(allow_host=False)`` for the G10-GDS variant.
+        eager_prefetch: Apply the §4.4 smart prefetching pass. Disabling it
+            reproduces the "latest safe prefetch only" ablation.
+    """
+
+    config: SystemConfig
+    policy: EvictionPolicyConfig = field(default_factory=EvictionPolicyConfig)
+    eager_prefetch: bool = True
+
+    def plan(self, graph: TrainingGraph) -> PlanningResult:
+        """Plan migrations for one profiled training iteration."""
+        report = TensorVitalityAnalyzer(graph).analyze()
+        return self.plan_from_report(report)
+
+    def plan_from_report(self, report: VitalityReport) -> PlanningResult:
+        """Plan migrations when the vitality report is already available."""
+        scheduler = SmartEvictionScheduler(report, self.config, self.policy)
+        plan = scheduler.schedule()
+        if self.eager_prefetch:
+            plan = SmartPrefetcher(scheduler.pressure).optimize(plan)
+        return PlanningResult(
+            plan=plan,
+            report=report,
+            baseline_peak_pressure=report.peak_pressure,
+            planned_peak_pressure=plan.planned_peak_pressure,
+        )

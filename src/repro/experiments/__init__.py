@@ -1,0 +1,50 @@
+"""Experiment harness: one entry point per table and figure of the paper."""
+
+from .harness import (
+    Workload,
+    build_workload,
+    clear_workload_cache,
+    run_policy,
+    run_policies,
+)
+from .figures import (
+    figure2_memory_consumption,
+    figure3_inactive_periods,
+    figure4_size_vs_inactive,
+    figure11_end_to_end,
+    figure12_breakdown,
+    figure13_kernel_slowdown,
+    figure14_traffic,
+    figure15_batch_sweep,
+    figure16_host_memory,
+    figure17_host_memory_compare,
+    figure18_ssd_bandwidth,
+    figure19_profiling_error,
+    section77_ssd_lifetime,
+)
+from .tables import table1_models, table2_configuration
+from .reporting import format_table
+
+__all__ = [
+    "Workload",
+    "build_workload",
+    "clear_workload_cache",
+    "run_policy",
+    "run_policies",
+    "figure2_memory_consumption",
+    "figure3_inactive_periods",
+    "figure4_size_vs_inactive",
+    "figure11_end_to_end",
+    "figure12_breakdown",
+    "figure13_kernel_slowdown",
+    "figure14_traffic",
+    "figure15_batch_sweep",
+    "figure16_host_memory",
+    "figure17_host_memory_compare",
+    "figure18_ssd_bandwidth",
+    "figure19_profiling_error",
+    "section77_ssd_lifetime",
+    "table1_models",
+    "table2_configuration",
+    "format_table",
+]

@@ -1,0 +1,281 @@
+"""One function per figure of the paper's characterization and evaluation."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..analysis.characterization import characterize_workload
+from ..analysis.lifetime import estimate_ssd_lifetime
+from ..analysis.traffic import traffic_breakdown
+from ..config import GB, SystemConfig
+from .harness import Workload, build_workload, default_batch_size, run_policies, run_policy
+
+#: Designs compared in the headline evaluation, in the paper's order.
+EVALUATED_POLICIES: tuple[str, ...] = (
+    "base_uvm",
+    "flashneuron",
+    "deepum",
+    "g10_gds",
+    "g10_host",
+    "g10",
+)
+
+#: Model/batch pairs used by the §3 characterization figures (Figures 2-4).
+CHARACTERIZATION_WORKLOADS: tuple[tuple[str, int], ...] = (
+    ("bert", 128),
+    ("vit", 512),
+    ("resnet152", 512),
+    ("inceptionv3", 512),
+)
+
+#: The five headline workloads of Figure 11.
+FIGURE11_MODELS: tuple[str, ...] = ("bert", "vit", "inceptionv3", "resnet152", "senet154")
+
+#: Batch-size sweeps of Figure 15 (paper scale).
+FIGURE15_BATCHES: dict[str, tuple[int, ...]] = {
+    "bert": (128, 256, 512, 768, 1024),
+    "vit": (256, 512, 768, 1024, 1280),
+    "inceptionv3": (512, 768, 1024, 1280, 1536, 1792),
+    "resnet152": (256, 512, 768, 1024, 1280),
+    "senet154": (256, 512, 768, 1024),
+}
+
+#: Host-memory capacities (GB) swept in Figures 16 and 17.
+FIGURE16_HOST_MEMORY_GB: tuple[int, ...] = (0, 32, 64, 128, 256)
+
+#: SSD bandwidths (GB/s) swept in Figure 18 (1, 2, 3, 4, 5 stacked SSDs).
+FIGURE18_SSD_BANDWIDTH_GBS: tuple[float, ...] = (6.4, 12.8, 19.2, 25.6, 32.0)
+
+#: Profiling error levels of Figure 19.
+FIGURE19_ERRORS: tuple[float, ...] = (0.0, 0.05, 0.10, 0.15, 0.20)
+
+
+def _workloads(models: Sequence[str], scale: str) -> list[Workload]:
+    return [build_workload(m, scale=scale) for m in models]
+
+
+# --------------------------------------------------------------------------- §3
+def figure2_memory_consumption(scale: str = "paper") -> dict[str, dict[str, np.ndarray]]:
+    """Figure 2: all-tensor vs active-tensor memory per kernel."""
+    results: dict[str, dict[str, np.ndarray]] = {}
+    for model, batch in CHARACTERIZATION_WORKLOADS:
+        workload = build_workload(model, batch if scale == "paper" else max(batch // 4, 8), scale)
+        char = characterize_workload(workload.report)
+        results[f"{model}-{workload.batch_size}"] = {
+            "total": char.total_fraction,
+            "active": char.active_fraction,
+            "mean_active_fraction": np.float64(char.mean_active_fraction),
+        }
+    return results
+
+
+def figure3_inactive_periods(scale: str = "paper") -> dict[str, np.ndarray]:
+    """Figure 3: distribution of inactive-period lengths (seconds, sorted)."""
+    results: dict[str, np.ndarray] = {}
+    for model, batch in CHARACTERIZATION_WORKLOADS:
+        workload = build_workload(model, batch if scale == "paper" else max(batch // 4, 8), scale)
+        char = characterize_workload(workload.report)
+        results[f"{model}-{workload.batch_size}"] = char.inactive_period_seconds
+    return results
+
+
+def figure4_size_vs_inactive(scale: str = "paper") -> dict[str, dict[str, np.ndarray]]:
+    """Figure 4: (inactive period length, tensor size) scatter per workload."""
+    results: dict[str, dict[str, np.ndarray]] = {}
+    for model, batch in CHARACTERIZATION_WORKLOADS:
+        workload = build_workload(model, batch if scale == "paper" else max(batch // 4, 8), scale)
+        char = characterize_workload(workload.report)
+        results[f"{model}-{workload.batch_size}"] = {
+            "seconds": char.inactive_period_seconds,
+            "bytes": char.inactive_period_bytes,
+        }
+    return results
+
+
+# --------------------------------------------------------------------------- §7.2
+def figure11_end_to_end(
+    scale: str = "paper", models: Sequence[str] = FIGURE11_MODELS
+) -> dict[str, dict[str, float]]:
+    """Figure 11: training throughput of every design, normalised to ideal."""
+    results: dict[str, dict[str, float]] = {}
+    for workload in _workloads(models, scale):
+        runs = run_policies(workload, EVALUATED_POLICIES)
+        results[workload.name] = {
+            name: run.normalized_performance for name, run in runs.items()
+        }
+        results[workload.name]["memory_footprint_ratio"] = workload.memory_footprint_ratio
+    return results
+
+
+def figure12_breakdown(
+    scale: str = "paper", models: Sequence[str] = FIGURE11_MODELS
+) -> dict[str, dict[str, dict[str, float]]]:
+    """Figure 12: overlapped-compute vs stall fraction of each design."""
+    results: dict[str, dict[str, dict[str, float]]] = {}
+    for workload in _workloads(models, scale):
+        runs = run_policies(workload, ("base_uvm", "flashneuron", "deepum", "g10"))
+        results[workload.name] = {
+            name: {"overlap": run.overlap_fraction, "stall": run.stall_fraction}
+            for name, run in runs.items()
+        }
+    return results
+
+
+def figure13_kernel_slowdown(
+    scale: str = "paper", models: Sequence[str] = FIGURE11_MODELS
+) -> dict[str, dict[str, np.ndarray]]:
+    """Figure 13: per-kernel slowdown distributions (sorted descending)."""
+    results: dict[str, dict[str, np.ndarray]] = {}
+    for workload in _workloads(models, scale):
+        runs = run_policies(workload, ("base_uvm", "flashneuron", "deepum", "g10"))
+        results[workload.name] = {
+            name: np.sort(run.kernel_slowdowns())[::-1] for name, run in runs.items()
+        }
+    return results
+
+
+def figure14_traffic(
+    scale: str = "paper", models: Sequence[str] = FIGURE11_MODELS
+) -> dict[str, dict[str, dict[str, float]]]:
+    """Figure 14: GPU-SSD vs GPU-Host migration traffic per design."""
+    results: dict[str, dict[str, dict[str, float]]] = {}
+    for workload in _workloads(models, scale):
+        runs = run_policies(workload, ("base_uvm", "flashneuron", "deepum", "g10"))
+        results[workload.name] = {}
+        for name, run in runs.items():
+            breakdown = traffic_breakdown(run)
+            results[workload.name][name] = {
+                "gpu_ssd_gb": breakdown.gpu_ssd_gb,
+                "gpu_host_gb": breakdown.gpu_host_gb,
+                "read_gb": breakdown.read_gb,
+                "write_gb": breakdown.write_gb,
+            }
+    return results
+
+
+# --------------------------------------------------------------------------- §7.3
+def figure15_batch_sweep(
+    scale: str = "paper",
+    models: Sequence[str] = FIGURE11_MODELS,
+    policies: Sequence[str] = ("base_uvm", "flashneuron", "deepum", "g10", "ideal"),
+) -> dict[str, dict[int, dict[str, float]]]:
+    """Figure 15: training throughput (samples/s) across batch sizes."""
+    results: dict[str, dict[int, dict[str, float]]] = {}
+    for model in models:
+        batches = FIGURE15_BATCHES[model]
+        if scale == "ci":
+            batches = tuple(max(b // 4, 8) for b in batches)
+        results[model] = {}
+        for batch in batches:
+            workload = build_workload(model, batch, scale)
+            runs = run_policies(workload, policies)
+            results[model][batch] = {name: run.throughput() for name, run in runs.items()}
+    return results
+
+
+# --------------------------------------------------------------------------- §7.4
+def figure16_host_memory(
+    scale: str = "paper",
+    models: Sequence[str] = FIGURE11_MODELS,
+    host_memory_gb: Sequence[int] = FIGURE16_HOST_MEMORY_GB,
+) -> dict[str, dict[int, float]]:
+    """Figure 16: G10 execution time as host memory capacity varies."""
+    results: dict[str, dict[int, float]] = {}
+    for model in models:
+        workload = build_workload(model, scale=scale)
+        results[model] = {}
+        for capacity_gb in host_memory_gb:
+            capacity = int(capacity_gb * GB)
+            if scale == "ci":
+                capacity = int(capacity * workload.config.host_memory_bytes
+                               / (128 * GB))
+            config = workload.config.with_host_memory(capacity)
+            run = run_policy(workload, "g10", config)
+            results[model][capacity_gb] = run.execution_time
+    return results
+
+
+def figure17_host_memory_compare(
+    scale: str = "paper",
+    host_memory_gb: Sequence[int] = (0, 32, 64, 128, 256),
+) -> dict[str, dict[int, dict[str, float]]]:
+    """Figure 17: G10 vs DeepUM+ vs FlashNeuron across host memory capacities."""
+    cases = {"vit": 1024, "inceptionv3": 1280}
+    results: dict[str, dict[int, dict[str, float]]] = {}
+    for model, batch in cases.items():
+        workload = build_workload(model, batch if scale == "paper" else max(batch // 4, 8), scale)
+        results[model] = {}
+        for capacity_gb in host_memory_gb:
+            capacity = int(capacity_gb * GB)
+            if scale == "ci":
+                capacity = int(capacity * workload.config.host_memory_bytes / (128 * GB))
+            config = workload.config.with_host_memory(capacity)
+            runs = run_policies(workload, ("deepum", "flashneuron", "g10"), config)
+            results[model][capacity_gb] = {
+                name: run.execution_time for name, run in runs.items()
+            }
+    return results
+
+
+# --------------------------------------------------------------------------- §7.5
+def figure18_ssd_bandwidth(
+    scale: str = "paper",
+    models: Sequence[str] = FIGURE11_MODELS,
+    bandwidths_gbs: Sequence[float] = FIGURE18_SSD_BANDWIDTH_GBS,
+) -> dict[str, dict[float, dict[str, float]]]:
+    """Figure 18: normalised performance as SSD bandwidth scales (PCIe 4.0 host link)."""
+    results: dict[str, dict[float, dict[str, float]]] = {}
+    for model in models:
+        workload = build_workload(model, scale=scale)
+        results[model] = {}
+        for bandwidth in bandwidths_gbs:
+            config = workload.config.with_interconnect_bandwidth(32 * GB)
+            config = config.with_ssd_bandwidth(bandwidth * GB)
+            runs = run_policies(workload, ("base_uvm", "flashneuron", "deepum", "g10"), config)
+            results[model][bandwidth] = {
+                name: run.normalized_performance for name, run in runs.items()
+            }
+    return results
+
+
+# --------------------------------------------------------------------------- §7.6
+def figure19_profiling_error(
+    scale: str = "paper",
+    models: Sequence[str] = FIGURE11_MODELS,
+    errors: Sequence[float] = FIGURE19_ERRORS,
+) -> dict[str, dict[float, float]]:
+    """Figure 19: G10 performance under kernel-timing prediction errors.
+
+    Values are normalised to the error-free G10 run (1.0 means no degradation).
+    """
+    results: dict[str, dict[float, float]] = {}
+    for model in models:
+        workload = build_workload(model, scale=scale)
+        baseline = run_policy(workload, "g10", profiling_error=0.0)
+        results[model] = {}
+        for error in errors:
+            run = run_policy(workload, "g10", profiling_error=error, seed=17)
+            results[model][error] = (
+                baseline.execution_time / run.execution_time if run.execution_time else 0.0
+            )
+    return results
+
+
+# --------------------------------------------------------------------------- §7.7
+def section77_ssd_lifetime(
+    scale: str = "paper", models: Sequence[str] = FIGURE11_MODELS
+) -> dict[str, dict[str, float]]:
+    """§7.7: projected SSD lifetime (years) and write traffic per design."""
+    results: dict[str, dict[str, float]] = {}
+    for workload in _workloads(models, scale):
+        results[workload.name] = {}
+        for policy in ("flashneuron", "deepum", "g10"):
+            run = run_policy(workload, policy)
+            if run.failed:
+                continue
+            estimate = estimate_ssd_lifetime(run, workload.config.ssd)
+            results[workload.name][f"{policy}_lifetime_years"] = estimate.lifetime_years
+            results[workload.name][f"{policy}_ssd_writes_gb"] = run.ssd_bytes_written / 1e9
+    return results

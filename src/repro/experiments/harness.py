@@ -1,0 +1,182 @@
+"""Shared machinery for building workloads and running policies.
+
+Workloads come in two scales:
+
+* ``"paper"`` — the full model architectures at the paper's batch sizes,
+  against the Table 2 system configuration;
+* ``"ci"`` — depth-reduced models whose GPU/host memory capacities are scaled
+  by the same factor as the workload footprint, preserving every
+  footprint-to-capacity and traffic-to-bandwidth ratio while running in a few
+  hundred milliseconds. The benchmark suite uses this scale by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import SystemConfig, paper_config
+from ..core.vitality import TensorVitalityAnalyzer, VitalityReport
+from ..errors import ConfigurationError
+from ..graph.training import TrainingGraph, expand_training
+from ..models.registry import FIGURE11_BATCH_SIZES, build_model, normalize_model_name
+from ..profiling import perturb_trace, profile_training_graph
+from ..baselines import make_policy
+from ..sim import ExecutionSimulator, SimulationResult
+
+#: Architecture overrides that shrink each model for CI-scale experiments.
+CI_OVERRIDES: dict[str, dict[str, object]] = {
+    "bert": {"num_layers": 3},
+    "vit": {"num_layers": 3},
+    "inceptionv3": {"image_size": 171},
+    "resnet152": {"stages": (2, 3, 6, 2)},
+    "senet154": {"stages": (2, 3, 6, 2)},
+}
+
+#: Footprint scale factor of each CI override relative to the full model.
+#: GPU and host capacities are multiplied by this factor so the memory
+#: pressure regime (M%) matches the paper-scale workload.
+CI_CAPACITY_SCALE: dict[str, float] = {
+    "bert": 0.25,
+    "vit": 0.25,
+    "inceptionv3": 0.33,
+    "resnet152": 0.25,
+    "senet154": 0.25,
+}
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A profiled training iteration plus the system configuration to run it on."""
+
+    name: str
+    batch_size: int
+    scale: str
+    graph: TrainingGraph = field(compare=False, repr=False)
+    report: VitalityReport = field(compare=False, repr=False)
+    config: SystemConfig = field(compare=False, repr=False)
+
+    @property
+    def memory_footprint_ratio(self) -> float:
+        """Peak live footprint relative to GPU capacity (the paper's M metric)."""
+        return self.report.memory_footprint_ratio(self.config.gpu.memory_bytes)
+
+
+_CACHE: dict[tuple, Workload] = {}
+
+
+def clear_workload_cache() -> None:
+    """Drop memoized workloads (tests use this to bound memory)."""
+    _CACHE.clear()
+
+
+def default_batch_size(model: str) -> int:
+    """The Figure 11 batch size for a model."""
+    return FIGURE11_BATCH_SIZES[normalize_model_name(model)]
+
+
+def build_workload(
+    model: str,
+    batch_size: int | None = None,
+    scale: str = "paper",
+    config: SystemConfig | None = None,
+) -> Workload:
+    """Build, expand and profile one workload (memoized).
+
+    Args:
+        model: Any recognised model name.
+        batch_size: Training batch size; defaults to the Figure 11 value
+            (scaled down by 4x for CI-scale workloads).
+        scale: ``"paper"`` or ``"ci"``.
+        config: Optional system configuration override. For CI scale the
+            default configuration has its GPU/host capacities shrunk to keep
+            the paper's memory-pressure regime.
+    """
+    if scale not in ("paper", "ci"):
+        raise ConfigurationError(f"unknown workload scale {scale!r}")
+    key = normalize_model_name(model)
+    if batch_size is None:
+        batch_size = default_batch_size(key)
+        if scale == "ci":
+            batch_size = max(batch_size // 4, 8)
+
+    cache_key = (key, batch_size, scale, id(config) if config is not None else None)
+    cached = _CACHE.get(cache_key)
+    if cached is not None:
+        return cached
+
+    overrides = CI_OVERRIDES[key] if scale == "ci" else {}
+    graph = build_model(key, batch_size, **overrides)
+    if config is None:
+        config = paper_config()
+        if scale == "ci":
+            factor = CI_CAPACITY_SCALE[key]
+            config = config.with_gpu_memory(int(config.gpu.memory_bytes * factor))
+            config = config.with_host_memory(int(config.host_memory_bytes * factor))
+    training = profile_training_graph(expand_training(graph), config)
+    report = TensorVitalityAnalyzer(training).analyze()
+    workload = Workload(
+        name=key,
+        batch_size=batch_size,
+        scale=scale,
+        graph=training,
+        report=report,
+        config=config,
+    )
+    _CACHE[cache_key] = workload
+    return workload
+
+
+def run_policy(
+    workload: Workload,
+    policy_name: str,
+    config: SystemConfig | None = None,
+    profiling_error: float = 0.0,
+    seed: int = 0,
+) -> SimulationResult:
+    """Simulate one policy on one workload.
+
+    ``profiling_error`` perturbs the kernel durations the *policy* plans with,
+    while the simulator executes the unperturbed trace — exactly the §7.6
+    robustness experiment.
+    """
+    config = config or workload.config
+    policy = make_policy(policy_name)
+    if profiling_error > 0:
+        planning_graph = perturb_trace(workload.graph, profiling_error, seed)
+        planning_report = TensorVitalityAnalyzer(planning_graph).analyze()
+        simulator = ExecutionSimulator(workload.graph, config, _PrePlanned(policy, planning_report), workload.report)
+    else:
+        simulator = ExecutionSimulator(workload.graph, config, policy, workload.report)
+    return simulator.run()
+
+
+def run_policies(
+    workload: Workload,
+    policy_names: list[str] | tuple[str, ...],
+    config: SystemConfig | None = None,
+) -> dict[str, SimulationResult]:
+    """Simulate several policies on one workload."""
+    return {name: run_policy(workload, name, config) for name in policy_names}
+
+
+class _PrePlanned:
+    """Wrap a policy so its compile-time planning sees noisy kernel durations."""
+
+    def __init__(self, inner, planning_report: VitalityReport):
+        self._inner = inner
+        self._planning_report = planning_report
+        self.name = inner.name
+        self.enforce_capacity = inner.enforce_capacity
+
+    def setup(self, context):
+        from ..sim.policy import PolicyContext
+
+        noisy_context = PolicyContext(
+            config=context.config,
+            graph=self._planning_report.graph,
+            report=self._planning_report,
+        )
+        self._inner.setup(noisy_context)
+
+    def __getattr__(self, item):
+        return getattr(self._inner, item)

@@ -1,0 +1,50 @@
+"""Plain-text rendering of experiment results (the harness prints, never plots)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def format_table(
+    rows: Iterable[Mapping[str, object]] | Iterable[Sequence[object]],
+    headers: Sequence[str] | None = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render rows as an aligned, pipe-separated text table.
+
+    Accepts either a list of dictionaries (headers inferred from the first row)
+    or a list of sequences plus explicit headers.
+    """
+    materialized = list(rows)
+    if not materialized:
+        return "(no rows)"
+
+    if isinstance(materialized[0], Mapping):
+        if headers is None:
+            headers = list(materialized[0].keys())
+        table_rows = [[row.get(h, "") for h in headers] for row in materialized]
+    else:
+        if headers is None:
+            raise ValueError("headers are required when rows are plain sequences")
+        table_rows = [list(row) for row in materialized]
+
+    def render(value: object) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(v) for v in row] for row in table_rows]
+    header_cells = [str(h) for h in headers]
+    widths = [
+        max(len(header_cells[i]), *(len(row[i]) for row in rendered)) if rendered else len(header_cells[i])
+        for i in range(len(header_cells))
+    ]
+    lines = [
+        " | ".join(cell.ljust(width) for cell, width in zip(header_cells, widths)),
+        "-+-".join("-" * width for width in widths),
+    ]
+    for row in rendered:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)

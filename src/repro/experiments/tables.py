@@ -1,0 +1,46 @@
+"""Tables 1 and 2 of the paper."""
+
+from __future__ import annotations
+
+from ..config import GB, SystemConfig, paper_config
+from ..models.registry import FIGURE11_BATCH_SIZES, available_models, model_description
+from .harness import build_workload
+
+
+def table1_models(scale: str = "paper") -> list[dict[str, object]]:
+    """Table 1: evaluated DNN models, their kernel counts, sources and datasets."""
+    rows: list[dict[str, object]] = []
+    for model in available_models():
+        description = model_description(model)
+        workload = build_workload(model, scale=scale)
+        rows.append(
+            {
+                "model": description["display"],
+                "kernels": workload.graph.num_kernels,
+                "source": description["source"],
+                "dataset": description["dataset"],
+                "batch_size": FIGURE11_BATCH_SIZES[model],
+                "memory_footprint_pct": round(100 * workload.memory_footprint_ratio, 1),
+            }
+        )
+    return rows
+
+
+def table2_configuration(config: SystemConfig | None = None) -> dict[str, str]:
+    """Table 2: the simulated system configuration."""
+    config = config or paper_config()
+    return {
+        "CPU main memory": f"{config.host_memory_bytes / GB:.0f} GB DDR4",
+        "GPU": "NVIDIA A100 (simulated)",
+        "GPU memory": f"{config.gpu.memory_bytes / GB:.0f} GB HBM2e",
+        "Page size": f"{config.uvm.page_size // 1024} KB",
+        "SSD read/write bandwidth": (
+            f"{config.ssd.read_bandwidth / GB:.1f}/{config.ssd.write_bandwidth / GB:.1f} GB/s"
+        ),
+        "SSD read/write latency": (
+            f"{config.ssd.read_latency * 1e6:.0f}/{config.ssd.write_latency * 1e6:.0f} us"
+        ),
+        "SSD capacity": f"{config.ssd.capacity_bytes / (1024 ** 4):.1f} TB",
+        "Interconnect": f"PCIe ({config.interconnect.bandwidth / GB:.2f} GB/s per direction)",
+        "GPU page fault handling latency": f"{config.uvm.fault_latency * 1e6:.0f} us",
+    }

@@ -1,0 +1,26 @@
+"""Dataflow-graph substrate: tensors, operators, kernels, training expansion.
+
+This package provides the compiler-level representation that G10's tensor
+vitality analyzer consumes: a forward dataflow graph of operators over named
+tensors (:class:`DataflowGraph`), and its expansion into a full training
+iteration — an ordered list of :class:`Kernel` launches covering the forward
+pass, the backward pass, and the optimizer update (:func:`expand_training`).
+"""
+
+from .tensor import TensorInfo, TensorKind
+from .operator import Operator, OpType
+from .kernel import Kernel, KernelPhase
+from .dataflow import DataflowGraph
+from .training import TrainingGraph, expand_training
+
+__all__ = [
+    "TensorInfo",
+    "TensorKind",
+    "Operator",
+    "OpType",
+    "Kernel",
+    "KernelPhase",
+    "DataflowGraph",
+    "TrainingGraph",
+    "expand_training",
+]

@@ -1,0 +1,178 @@
+"""Forward dataflow graph of a DNN model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..errors import GraphError
+from .operator import Operator, OpType
+from .tensor import TensorInfo, TensorKind, TensorSet
+
+
+@dataclass
+class DataflowGraph:
+    """A forward dataflow graph: tensors plus operators in execution order.
+
+    Builders (``repro.models``) append operators in a valid topological order;
+    :meth:`validate` checks the invariants (every consumed activation has a
+    producer or is a model input, ids are unique, no operator reads a tensor
+    produced later).
+    """
+
+    name: str
+    tensors: TensorSet = field(default_factory=TensorSet)
+    operators: list[Operator] = field(default_factory=list)
+    batch_size: int = 1
+
+    # -- construction ----------------------------------------------------
+
+    def add_tensor(
+        self,
+        name: str,
+        shape: Sequence[int],
+        kind: TensorKind,
+    ) -> TensorInfo:
+        """Create and register a tensor."""
+        return self.tensors.add(name, shape, kind)
+
+    def add_operator(
+        self,
+        name: str,
+        op_type: OpType,
+        inputs: Iterable[TensorInfo | int],
+        outputs: Iterable[TensorInfo | int],
+        weights: Iterable[TensorInfo | int] = (),
+        flops: float = 0.0,
+        workspace_bytes: int = 0,
+        compute_class: str = "generic",
+    ) -> Operator:
+        """Create, append and return an operator.
+
+        ``inputs``/``outputs``/``weights`` accept tensors or raw tensor ids.
+        Weights are automatically added to the operator inputs if missing.
+        """
+        input_ids = [self._tensor_id(t) for t in inputs]
+        output_ids = [self._tensor_id(t) for t in outputs]
+        weight_ids = [self._tensor_id(t) for t in weights]
+        for wid in weight_ids:
+            if wid not in input_ids:
+                input_ids.append(wid)
+        operator = Operator(
+            op_id=len(self.operators),
+            name=name,
+            op_type=op_type,
+            input_ids=input_ids,
+            output_ids=output_ids,
+            weight_ids=weight_ids,
+            flops=flops,
+            workspace_bytes=workspace_bytes,
+            compute_class=compute_class,
+        )
+        for tid in (*input_ids, *output_ids):
+            if tid not in self.tensors:
+                raise GraphError(f"operator {name!r} references unknown tensor id {tid}")
+        self.operators.append(operator)
+        return operator
+
+    @staticmethod
+    def _tensor_id(tensor: TensorInfo | int) -> int:
+        return tensor.tensor_id if isinstance(tensor, TensorInfo) else int(tensor)
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def num_operators(self) -> int:
+        return len(self.operators)
+
+    @property
+    def num_tensors(self) -> int:
+        return len(self.tensors)
+
+    def tensor(self, tensor_id: int) -> TensorInfo:
+        """Look up a tensor by id."""
+        return self.tensors[tensor_id]
+
+    def weight_tensors(self) -> list[TensorInfo]:
+        """All trainable parameter tensors."""
+        return [t for t in self.tensors if t.kind is TensorKind.WEIGHT]
+
+    def total_weight_bytes(self) -> int:
+        """Total size of the model parameters."""
+        return sum(t.size_bytes for t in self.weight_tensors())
+
+    def producers(self) -> dict[int, int]:
+        """Map tensor id -> op id of the operator producing it."""
+        produced: dict[int, int] = {}
+        for op in self.operators:
+            for tid in op.output_ids:
+                produced[tid] = op.op_id
+        return produced
+
+    def consumers(self) -> dict[int, list[int]]:
+        """Map tensor id -> op ids that read it, in execution order."""
+        consumed: dict[int, list[int]] = {}
+        for op in self.operators:
+            for tid in op.input_ids:
+                consumed.setdefault(tid, []).append(op.op_id)
+        return consumed
+
+    def final_outputs(self) -> list[TensorInfo]:
+        """Tensors produced by some operator but never consumed (model outputs)."""
+        produced = set(self.producers())
+        consumed = {tid for op in self.operators for tid in op.input_ids}
+        return [self.tensors[tid] for tid in sorted(produced - consumed)]
+
+    # -- validation --------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check graph invariants; raise :class:`GraphError` on violation."""
+        if not self.operators:
+            raise GraphError(f"graph {self.name!r} has no operators")
+        produced_by: dict[int, int] = {}
+        for op in self.operators:
+            for tid in op.output_ids:
+                if tid in produced_by:
+                    if tid not in op.input_ids:
+                        raise GraphError(
+                            f"tensor {tid} produced by both op {produced_by[tid]} and op {op.op_id}"
+                        )
+                    # In-place operators legitimately "re-produce" one of their
+                    # inputs (e.g. ReLU(inplace=True)); keep the original producer.
+                    continue
+                produced_by[tid] = op.op_id
+        for op in self.operators:
+            for tid in op.data_input_ids:
+                tensor = self.tensors[tid]
+                if tensor.kind in (TensorKind.INPUT, TensorKind.WEIGHT, TensorKind.OPTIMIZER_STATE):
+                    continue
+                producer = produced_by.get(tid)
+                if producer is None:
+                    raise GraphError(
+                        f"op {op.name!r} consumes activation tensor {tensor.name!r} "
+                        "which has no producer and is not a model input"
+                    )
+                if producer >= op.op_id:
+                    raise GraphError(
+                        f"op {op.name!r} (id {op.op_id}) consumes tensor {tensor.name!r} "
+                        f"produced by a later op (id {producer}); operators must be "
+                        "appended in topological order"
+                    )
+
+    # -- summary -----------------------------------------------------------
+
+    def summary(self) -> dict[str, float | int | str]:
+        """Compact statistics used by Table 1 style reporting."""
+        weights = self.total_weight_bytes()
+        activations = sum(
+            t.size_bytes for t in self.tensors if t.kind is TensorKind.ACTIVATION
+        )
+        return {
+            "name": self.name,
+            "batch_size": self.batch_size,
+            "operators": self.num_operators,
+            "tensors": self.num_tensors,
+            "weight_bytes": weights,
+            "activation_bytes": activations,
+            "total_bytes": self.tensors.total_bytes,
+        }

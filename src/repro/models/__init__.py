@@ -1,0 +1,27 @@
+"""DNN model zoo: builders for the five workloads evaluated in the paper.
+
+The paper evaluates BERT, ViT, Inceptionv3, ResNet152 and SENet154 (Table 1).
+Each builder constructs the forward :class:`~repro.graph.DataflowGraph` of the
+corresponding architecture at a requested batch size; the training expansion
+and the cost model then turn it into the kernel trace the simulator replays.
+"""
+
+from .builder import ModelBuilder
+from .registry import available_models, build_model, model_description
+from .bert import build_bert
+from .vit import build_vit
+from .resnet import build_resnet152
+from .inception import build_inceptionv3
+from .senet import build_senet154
+
+__all__ = [
+    "ModelBuilder",
+    "available_models",
+    "build_model",
+    "model_description",
+    "build_bert",
+    "build_vit",
+    "build_resnet152",
+    "build_inceptionv3",
+    "build_senet154",
+]

@@ -1,0 +1,60 @@
+"""BERT-Base builder (Devlin et al., 2018) for sequence classification (CoLA)."""
+
+from __future__ import annotations
+
+from ..graph.dataflow import DataflowGraph
+from ..graph.tensor import TensorInfo
+from .builder import ModelBuilder
+
+#: Default architecture parameters for BERT-Base.
+BERT_BASE = {
+    "num_layers": 12,
+    "hidden": 768,
+    "heads": 12,
+    "intermediate": 3072,
+    "vocab_size": 30522,
+    "seq_len": 512,
+}
+
+
+def _transformer_encoder_layer(
+    builder: ModelBuilder, x: TensorInfo, heads: int, intermediate: int
+) -> TensorInfo:
+    """Post-norm transformer encoder layer (attention + FFN, two residuals)."""
+    attn_out = builder.attention(x, num_heads=heads, prefix="attn")
+    attn_out = builder.dropout(attn_out, prefix="attn_dropout")
+    x = builder.add(x, attn_out, prefix="attn_residual")
+    x = builder.layernorm(x, prefix="attn_ln")
+
+    hidden = x.shape[-1]
+    ffn = builder.linear(x, intermediate, prefix="ffn_up")
+    ffn = builder.gelu(ffn, prefix="ffn_gelu")
+    ffn = builder.linear(ffn, hidden, prefix="ffn_down")
+    ffn = builder.dropout(ffn, prefix="ffn_dropout")
+    x = builder.add(x, ffn, prefix="ffn_residual")
+    return builder.layernorm(x, prefix="ffn_ln")
+
+
+def build_bert(
+    batch_size: int,
+    seq_len: int = BERT_BASE["seq_len"],
+    num_layers: int = BERT_BASE["num_layers"],
+    hidden: int = BERT_BASE["hidden"],
+    heads: int = BERT_BASE["heads"],
+    intermediate: int = BERT_BASE["intermediate"],
+    vocab_size: int = BERT_BASE["vocab_size"],
+    num_classes: int = 2,
+) -> DataflowGraph:
+    """Build the forward graph of BERT-Base sequence classification."""
+    builder = ModelBuilder(name=f"BERT-{batch_size}", batch_size=batch_size)
+    tokens = builder.input_tokens(seq_len)
+    x = builder.embedding(tokens, vocab_size, hidden, prefix="word_embedding")
+    x = builder.layernorm(x, prefix="embedding_ln")
+    x = builder.dropout(x, prefix="embedding_dropout")
+
+    for _layer in range(num_layers):
+        x = _transformer_encoder_layer(builder, x, heads, intermediate)
+
+    pooled = builder.linear(x, hidden, prefix="pooler")
+    builder.classifier(pooled, num_classes)
+    return builder.build()

@@ -1,0 +1,120 @@
+"""Inception-v3 builder (Szegedy et al., CVPR'16) on 299x299 ImageNet inputs."""
+
+from __future__ import annotations
+
+from ..graph.dataflow import DataflowGraph
+from ..graph.tensor import TensorInfo
+from .builder import ModelBuilder
+
+
+def _conv_bn(
+    builder: ModelBuilder,
+    x: TensorInfo,
+    out_channels: int,
+    kernel_size: int,
+    stride: int = 1,
+    padding: int | None = None,
+) -> TensorInfo:
+    """Convolution + batch norm + ReLU, the basic Inception building block."""
+    out = builder.conv2d(x, out_channels, kernel_size, stride=stride, padding=padding)
+    out = builder.batchnorm(out)
+    return builder.relu(out, inplace=True)
+
+
+def _inception_a(builder: ModelBuilder, x: TensorInfo, pool_channels: int) -> TensorInfo:
+    """InceptionA module: 1x1, 5x5, double-3x3 and pooled branches."""
+    branch1 = _conv_bn(builder, x, 64, 1)
+    branch2 = _conv_bn(builder, x, 48, 1)
+    branch2 = _conv_bn(builder, branch2, 64, 5)
+    branch3 = _conv_bn(builder, x, 64, 1)
+    branch3 = _conv_bn(builder, branch3, 96, 3)
+    branch3 = _conv_bn(builder, branch3, 96, 3)
+    branch4 = builder.pool(x, kernel_size=3, stride=1, padding=1, prefix="avgpool")
+    branch4 = _conv_bn(builder, branch4, pool_channels, 1)
+    return builder.concat([branch1, branch2, branch3, branch4])
+
+
+def _inception_b(builder: ModelBuilder, x: TensorInfo) -> TensorInfo:
+    """InceptionB (grid reduction) module."""
+    branch1 = _conv_bn(builder, x, 384, 3, stride=2, padding=0)
+    branch2 = _conv_bn(builder, x, 64, 1)
+    branch2 = _conv_bn(builder, branch2, 96, 3)
+    branch2 = _conv_bn(builder, branch2, 96, 3, stride=2, padding=0)
+    branch3 = builder.pool(x, kernel_size=3, stride=2, padding=0, prefix="maxpool")
+    return builder.concat([branch1, branch2, branch3])
+
+
+def _inception_c(builder: ModelBuilder, x: TensorInfo, mid_channels: int) -> TensorInfo:
+    """InceptionC module with factorised 7x7 convolutions (modelled as 7-wide convs)."""
+    branch1 = _conv_bn(builder, x, 192, 1)
+    branch2 = _conv_bn(builder, x, mid_channels, 1)
+    branch2 = _conv_bn(builder, branch2, mid_channels, 7)
+    branch2 = _conv_bn(builder, branch2, 192, 7)
+    branch3 = _conv_bn(builder, x, mid_channels, 1)
+    branch3 = _conv_bn(builder, branch3, mid_channels, 7)
+    branch3 = _conv_bn(builder, branch3, mid_channels, 7)
+    branch3 = _conv_bn(builder, branch3, 192, 7)
+    branch4 = builder.pool(x, kernel_size=3, stride=1, padding=1, prefix="avgpool")
+    branch4 = _conv_bn(builder, branch4, 192, 1)
+    return builder.concat([branch1, branch2, branch3, branch4])
+
+
+def _inception_d(builder: ModelBuilder, x: TensorInfo) -> TensorInfo:
+    """InceptionD (grid reduction) module."""
+    branch1 = _conv_bn(builder, x, 192, 1)
+    branch1 = _conv_bn(builder, branch1, 320, 3, stride=2, padding=0)
+    branch2 = _conv_bn(builder, x, 192, 1)
+    branch2 = _conv_bn(builder, branch2, 192, 7)
+    branch2 = _conv_bn(builder, branch2, 192, 3, stride=2, padding=0)
+    branch3 = builder.pool(x, kernel_size=3, stride=2, padding=0, prefix="maxpool")
+    return builder.concat([branch1, branch2, branch3])
+
+
+def _inception_e(builder: ModelBuilder, x: TensorInfo) -> TensorInfo:
+    """InceptionE module with expanded 3x3 branches."""
+    branch1 = _conv_bn(builder, x, 320, 1)
+    branch2 = _conv_bn(builder, x, 384, 1)
+    branch2a = _conv_bn(builder, branch2, 384, 3)
+    branch2b = _conv_bn(builder, branch2, 384, 3)
+    branch3 = _conv_bn(builder, x, 448, 1)
+    branch3 = _conv_bn(builder, branch3, 384, 3)
+    branch3a = _conv_bn(builder, branch3, 384, 3)
+    branch3b = _conv_bn(builder, branch3, 384, 3)
+    branch4 = builder.pool(x, kernel_size=3, stride=1, padding=1, prefix="avgpool")
+    branch4 = _conv_bn(builder, branch4, 192, 1)
+    return builder.concat([branch1, branch2a, branch2b, branch3a, branch3b, branch4])
+
+
+def build_inceptionv3(
+    batch_size: int,
+    image_size: int = 299,
+    num_classes: int = 1000,
+) -> DataflowGraph:
+    """Build the forward graph of Inception-v3 at the given batch size."""
+    builder = ModelBuilder(name=f"Inceptionv3-{batch_size}", batch_size=batch_size)
+    x = builder.input_image(3, image_size, image_size)
+
+    x = _conv_bn(builder, x, 32, 3, stride=2, padding=0)
+    x = _conv_bn(builder, x, 32, 3, padding=0)
+    x = _conv_bn(builder, x, 64, 3)
+    x = builder.pool(x, kernel_size=3, stride=2, padding=0, prefix="maxpool")
+    x = _conv_bn(builder, x, 80, 1)
+    x = _conv_bn(builder, x, 192, 3, padding=0)
+    x = builder.pool(x, kernel_size=3, stride=2, padding=0, prefix="maxpool")
+
+    x = _inception_a(builder, x, pool_channels=32)
+    x = _inception_a(builder, x, pool_channels=64)
+    x = _inception_a(builder, x, pool_channels=64)
+    x = _inception_b(builder, x)
+    x = _inception_c(builder, x, mid_channels=128)
+    x = _inception_c(builder, x, mid_channels=160)
+    x = _inception_c(builder, x, mid_channels=160)
+    x = _inception_c(builder, x, mid_channels=192)
+    x = _inception_d(builder, x)
+    x = _inception_e(builder, x)
+    x = _inception_e(builder, x)
+
+    x = builder.global_pool(x)
+    x = builder.dropout(x)
+    builder.classifier(x, num_classes)
+    return builder.build()

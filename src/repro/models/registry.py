@@ -1,0 +1,79 @@
+"""Registry mapping model names to builders (Table 1 of the paper)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ModelError
+from ..graph.dataflow import DataflowGraph
+from .bert import build_bert
+from .inception import build_inceptionv3
+from .resnet import build_resnet152
+from .senet import build_senet154
+from .vit import build_vit
+
+#: Builder callables keyed by canonical model name.
+_BUILDERS: dict[str, Callable[..., DataflowGraph]] = {
+    "bert": build_bert,
+    "vit": build_vit,
+    "inceptionv3": build_inceptionv3,
+    "resnet152": build_resnet152,
+    "senet154": build_senet154,
+}
+
+#: Human-readable descriptions, mirroring Table 1 (model, source, dataset).
+_DESCRIPTIONS: dict[str, dict[str, str]] = {
+    "bert": {"display": "BERT", "source": "Hugging Face", "dataset": "CoLA"},
+    "vit": {"display": "ViT", "source": "Hugging Face", "dataset": "ImageNet"},
+    "inceptionv3": {"display": "Inceptionv3", "source": "PyTorch Examples", "dataset": "ImageNet"},
+    "resnet152": {"display": "ResNet152", "source": "PyTorch Examples", "dataset": "ImageNet"},
+    "senet154": {"display": "SENet154", "source": "PyTorch Examples", "dataset": "ImageNet"},
+}
+
+#: Batch sizes used in the headline evaluation (Figure 11).
+FIGURE11_BATCH_SIZES: dict[str, int] = {
+    "bert": 256,
+    "vit": 1280,
+    "inceptionv3": 1536,
+    "resnet152": 1280,
+    "senet154": 1024,
+}
+
+
+def available_models() -> list[str]:
+    """Canonical names of all models in the zoo."""
+    return sorted(_BUILDERS)
+
+
+def normalize_model_name(name: str) -> str:
+    """Map user-facing spellings ("ResNet-152", "VIT") to canonical keys."""
+    key = name.lower().replace("-", "").replace("_", "").replace(" ", "")
+    aliases = {
+        "bertbase": "bert",
+        "vitbase": "vit",
+        "inception": "inceptionv3",
+        "resnet": "resnet152",
+        "senet": "senet154",
+    }
+    key = aliases.get(key, key)
+    if key not in _BUILDERS:
+        raise ModelError(f"unknown model {name!r}; available: {available_models()}")
+    return key
+
+
+def build_model(name: str, batch_size: int, **overrides) -> DataflowGraph:
+    """Build a model's forward graph by name.
+
+    Args:
+        name: Any recognised spelling of the model name.
+        batch_size: Training batch size (first tensor dimension).
+        **overrides: Architecture overrides forwarded to the builder (e.g.
+            ``num_layers=2`` or ``image_size=64`` for scaled-down CI runs).
+    """
+    key = normalize_model_name(name)
+    return _BUILDERS[key](batch_size, **overrides)
+
+
+def model_description(name: str) -> dict[str, str]:
+    """Table 1 metadata for one model."""
+    return dict(_DESCRIPTIONS[normalize_model_name(name)])

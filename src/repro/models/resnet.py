@@ -1,0 +1,65 @@
+"""ResNet-152 builder (He et al., CVPR'16) on 224x224 ImageNet inputs."""
+
+from __future__ import annotations
+
+from ..graph.dataflow import DataflowGraph
+from ..graph.tensor import TensorInfo
+from .builder import ModelBuilder
+
+#: Bottleneck block counts per stage for ResNet-152.
+RESNET152_STAGES = (3, 8, 36, 3)
+
+
+def _bottleneck(
+    builder: ModelBuilder,
+    x: TensorInfo,
+    mid_channels: int,
+    out_channels: int,
+    stride: int,
+) -> TensorInfo:
+    """Standard ResNet bottleneck: 1x1 -> 3x3 -> 1x1 with a residual connection."""
+    identity = x
+    out = builder.conv2d(x, mid_channels, kernel_size=1, stride=1, padding=0)
+    out = builder.batchnorm(out)
+    out = builder.relu(out, inplace=True)
+    out = builder.conv2d(out, mid_channels, kernel_size=3, stride=stride, padding=1)
+    out = builder.batchnorm(out)
+    out = builder.relu(out, inplace=True)
+    out = builder.conv2d(out, out_channels, kernel_size=1, stride=1, padding=0)
+    out = builder.batchnorm(out)
+    if identity.shape != out.shape:
+        identity = builder.conv2d(
+            identity, out_channels, kernel_size=1, stride=stride, padding=0, prefix="downsample"
+        )
+        identity = builder.batchnorm(identity)
+    out = builder.add(out, identity)
+    return builder.relu(out, inplace=True)
+
+
+def build_resnet152(
+    batch_size: int,
+    image_size: int = 224,
+    num_classes: int = 1000,
+    stages: tuple[int, ...] = RESNET152_STAGES,
+) -> DataflowGraph:
+    """Build the forward graph of ResNet-152 at the given batch size."""
+    builder = ModelBuilder(name=f"ResNet152-{batch_size}", batch_size=batch_size)
+    x = builder.input_image(3, image_size, image_size)
+
+    x = builder.conv2d(x, 64, kernel_size=7, stride=2, padding=3, prefix="stem_conv")
+    x = builder.batchnorm(x)
+    x = builder.relu(x, inplace=True)
+    x = builder.pool(x, kernel_size=3, stride=2, padding=1, prefix="stem_pool")
+
+    mid = 64
+    out_channels = 256
+    for stage_index, num_blocks in enumerate(stages):
+        for block_index in range(num_blocks):
+            stride = 2 if (stage_index > 0 and block_index == 0) else 1
+            x = _bottleneck(builder, x, mid, out_channels, stride)
+        mid *= 2
+        out_channels *= 2
+
+    x = builder.global_pool(x)
+    builder.classifier(x, num_classes)
+    return builder.build()

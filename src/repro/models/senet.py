@@ -1,0 +1,90 @@
+"""SENet-154 builder (Hu et al., CVPR'18): squeeze-and-excitation residual network."""
+
+from __future__ import annotations
+
+from ..graph.dataflow import DataflowGraph
+from ..graph.tensor import TensorInfo
+from .builder import ModelBuilder
+
+#: Block counts per stage for SENet-154.
+SENET154_STAGES = (3, 8, 36, 3)
+
+#: Squeeze-and-excitation channel reduction ratio.
+SE_REDUCTION = 16
+
+
+def _se_block(builder: ModelBuilder, x: TensorInfo) -> TensorInfo:
+    """Squeeze-and-excitation: global pool -> FC -> ReLU -> FC -> sigmoid -> scale."""
+    channels = x.shape[1]
+    squeezed = builder.global_pool(x, prefix="se_squeeze")
+    reduced = builder.linear(squeezed, max(channels // SE_REDUCTION, 1), prefix="se_fc1")
+    reduced = builder.relu(reduced, prefix="se_relu", inplace=True)
+    expanded = builder.linear(reduced, channels, prefix="se_fc2")
+    gate = builder.sigmoid(expanded, prefix="se_gate")
+    return builder.mul(x, gate, prefix="se_scale")
+
+
+def _se_bottleneck(
+    builder: ModelBuilder,
+    x: TensorInfo,
+    mid_channels: int,
+    out_channels: int,
+    stride: int,
+    groups: int = 64,
+) -> TensorInfo:
+    """SENet bottleneck: grouped 3x3 convolution plus an SE gate on the residual path."""
+    identity = x
+    out = builder.conv2d(x, mid_channels, kernel_size=1, stride=1, padding=0)
+    out = builder.batchnorm(out)
+    out = builder.relu(out, inplace=True)
+    out = builder.conv2d(
+        out, mid_channels, kernel_size=3, stride=stride, padding=1, groups=groups
+    )
+    out = builder.batchnorm(out)
+    out = builder.relu(out, inplace=True)
+    out = builder.conv2d(out, out_channels, kernel_size=1, stride=1, padding=0)
+    out = builder.batchnorm(out)
+    out = _se_block(builder, out)
+    if identity.shape != out.shape:
+        identity = builder.conv2d(
+            identity, out_channels, kernel_size=1, stride=stride, padding=0, prefix="downsample"
+        )
+        identity = builder.batchnorm(identity)
+    out = builder.add(out, identity)
+    return builder.relu(out, inplace=True)
+
+
+def build_senet154(
+    batch_size: int,
+    image_size: int = 224,
+    num_classes: int = 1000,
+    stages: tuple[int, ...] = SENET154_STAGES,
+) -> DataflowGraph:
+    """Build the forward graph of SENet-154 at the given batch size."""
+    builder = ModelBuilder(name=f"SENet154-{batch_size}", batch_size=batch_size)
+    x = builder.input_image(3, image_size, image_size)
+
+    # SENet-154 uses a three-convolution stem.
+    x = builder.conv2d(x, 64, kernel_size=3, stride=2, padding=1, prefix="stem_conv")
+    x = builder.batchnorm(x)
+    x = builder.relu(x, inplace=True)
+    x = builder.conv2d(x, 64, kernel_size=3, stride=1, padding=1, prefix="stem_conv")
+    x = builder.batchnorm(x)
+    x = builder.relu(x, inplace=True)
+    x = builder.conv2d(x, 128, kernel_size=3, stride=1, padding=1, prefix="stem_conv")
+    x = builder.batchnorm(x)
+    x = builder.relu(x, inplace=True)
+    x = builder.pool(x, kernel_size=3, stride=2, padding=1, prefix="stem_pool")
+
+    mid = 128
+    out_channels = 256
+    for stage_index, num_blocks in enumerate(stages):
+        for block_index in range(num_blocks):
+            stride = 2 if (stage_index > 0 and block_index == 0) else 1
+            x = _se_bottleneck(builder, x, mid, out_channels, stride)
+        mid *= 2
+        out_channels *= 2
+
+    x = builder.global_pool(x)
+    builder.classifier(x, num_classes)
+    return builder.build()

@@ -1,0 +1,54 @@
+"""Vision Transformer (ViT-Base/16) builder (Dosovitskiy et al., ICLR'21)."""
+
+from __future__ import annotations
+
+from ..graph.dataflow import DataflowGraph
+from .bert import _transformer_encoder_layer
+from .builder import ModelBuilder
+
+#: Default architecture parameters for ViT-Base/16 on 224x224 ImageNet.
+VIT_BASE = {
+    "num_layers": 12,
+    "hidden": 768,
+    "heads": 12,
+    "intermediate": 3072,
+    "image_size": 224,
+    "patch_size": 16,
+}
+
+
+def build_vit(
+    batch_size: int,
+    image_size: int = VIT_BASE["image_size"],
+    patch_size: int = VIT_BASE["patch_size"],
+    num_layers: int = VIT_BASE["num_layers"],
+    hidden: int = VIT_BASE["hidden"],
+    heads: int = VIT_BASE["heads"],
+    intermediate: int = VIT_BASE["intermediate"],
+    num_classes: int = 1000,
+) -> DataflowGraph:
+    """Build the forward graph of ViT-Base/16 image classification."""
+    builder = ModelBuilder(name=f"ViT-{batch_size}", batch_size=batch_size)
+    image = builder.input_image(3, image_size, image_size)
+
+    # Patch embedding is a strided convolution; the resulting (N, D, H/P, W/P)
+    # feature map is flattened to a (N, S, D) token sequence by a projection.
+    patches = builder.conv2d(
+        image, hidden, kernel_size=patch_size, stride=patch_size, padding=0, prefix="patch_embed"
+    )
+    num_patches = (image_size // patch_size) ** 2
+    tokens = builder.reshape(
+        patches, (batch_size, num_patches, hidden), prefix="patch_flatten"
+    )
+    tokens = builder.linear(tokens, hidden, prefix="patch_proj")
+
+    x = builder.layernorm(tokens, prefix="embedding_ln")
+    x = builder.dropout(x, prefix="embedding_dropout")
+
+    for _layer in range(num_layers):
+        x = _transformer_encoder_layer(builder, x, heads, intermediate)
+
+    x = builder.layernorm(x, prefix="final_ln")
+    pooled = builder.linear(x, hidden, prefix="pooler")
+    builder.classifier(pooled, num_classes)
+    return builder.build()

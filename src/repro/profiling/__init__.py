@@ -1,0 +1,20 @@
+"""Profiling substrate: kernel execution-time estimation and noise injection.
+
+The paper profiles kernels on a real A100 and feeds the measured durations to
+the compile-time scheduler. This package replaces the hardware with a roofline
+cost model (:class:`KernelCostModel`), a tracer that produces the profiled
+kernel trace for a training graph (:func:`profile_training_graph`), and a
+noise model used by the §7.6 robustness study (:func:`perturb_durations`).
+"""
+
+from .cost_model import KernelCostModel
+from .tracer import profile_training_graph, profile_kernels
+from .noise import perturb_durations, perturb_trace
+
+__all__ = [
+    "KernelCostModel",
+    "profile_training_graph",
+    "profile_kernels",
+    "perturb_durations",
+    "perturb_trace",
+]

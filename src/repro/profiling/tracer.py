@@ -1,0 +1,26 @@
+"""Trace generation: attach profiled durations to a training graph."""
+
+from __future__ import annotations
+
+from ..config import GPUConfig, SystemConfig
+from ..graph.kernel import Kernel
+from ..graph.training import TrainingGraph
+from .cost_model import KernelCostModel
+
+
+def profile_kernels(kernels: list[Kernel], gpu: GPUConfig) -> list[Kernel]:
+    """Profile a bare kernel list with the roofline cost model."""
+    return KernelCostModel(gpu).profile(kernels)
+
+
+def profile_training_graph(
+    graph: TrainingGraph, config: SystemConfig | GPUConfig
+) -> TrainingGraph:
+    """Return a copy of ``graph`` whose kernels carry profiled durations.
+
+    Accepts either a full :class:`~repro.config.SystemConfig` or just the GPU
+    section; only the GPU parameters matter for kernel timing.
+    """
+    gpu = config.gpu if isinstance(config, SystemConfig) else config
+    profiled = profile_kernels(graph.kernels, gpu)
+    return graph.with_kernels(profiled)

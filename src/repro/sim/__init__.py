@@ -1,0 +1,20 @@
+"""Discrete-event execution simulator: kernel replay with memory and I/O timing.
+
+The executor replays one training iteration's kernel trace against the unified
+memory system: kernels can only start once their input tensors are resident in
+GPU memory and their outputs have space, migrations and demand faults are
+timed by the :class:`~repro.uvm.MigrationEngine`, and every stall is accounted
+per kernel. Policies (``repro.baselines``) decide which tensors move when.
+"""
+
+from .results import KernelTiming, SimulationResult
+from .executor import ExecutionSimulator
+from .engine import EventQueue, Event
+
+__all__ = [
+    "KernelTiming",
+    "SimulationResult",
+    "ExecutionSimulator",
+    "EventQueue",
+    "Event",
+]

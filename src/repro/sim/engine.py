@@ -1,0 +1,68 @@
+"""A minimal discrete-event queue used by the execution simulator."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled event: a timestamp plus an arbitrary payload."""
+
+    time: float
+    sequence: int
+    kind: str = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """Priority queue of timestamped events with stable FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, time: float, kind: str, payload: Any = None) -> Event:
+        """Add an event at an absolute timestamp."""
+        if time < 0:
+            raise SimulationError("cannot schedule an event at negative time")
+        event = Event(time=time, sequence=next(self._counter), kind=kind, payload=payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event, advancing the clock."""
+        if not self._heap:
+            raise SimulationError("event queue is empty")
+        event = heapq.heappop(self._heap)
+        self._now = max(self._now, event.time)
+        return event
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the next event, or None when empty."""
+        return self._heap[0].time if self._heap else None
+
+    def pop_until(self, time: float) -> list[Event]:
+        """Pop every event with timestamp <= ``time`` in order."""
+        due: list[Event] = []
+        while self._heap and self._heap[0].time <= time:
+            due.append(self.pop())
+        return due
+
+    def drain(self, handler: Callable[[Event], None]) -> None:
+        """Pop and handle every remaining event."""
+        while self._heap:
+            handler(self.pop())

@@ -1,0 +1,387 @@
+"""The execution simulator: replay one training iteration under a policy."""
+
+from __future__ import annotations
+
+import heapq
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..config import SystemConfig
+from ..core.vitality import TensorVitalityAnalyzer, VitalityReport
+from ..errors import SimulationError
+from ..graph.training import TrainingGraph
+from ..ssd.ssd import SSDDevice
+from ..uvm.address_space import UnifiedAddressSpace
+from ..uvm.fault import PageFaultModel
+from ..uvm.memory import MemoryPool
+from ..uvm.migration import MigrationEngine, MigrationKind, MigrationRequest
+from ..uvm.page_table import MemoryLocation, UnifiedPageTable
+from .policy import MigrationDecision, MigrationPolicy, PolicyContext
+from .results import KernelTiming, SimulationResult
+
+#: Effectively unlimited capacity used by the Ideal policy's GPU pool.
+_UNLIMITED = 1 << 62
+
+
+class _WorkloadFailure(Exception):
+    """Raised internally when a policy cannot execute the workload at all."""
+
+
+@dataclass
+class _PendingEviction:
+    """An eviction whose transfer is still draining; GPU space frees at completion."""
+
+    completion: float
+    tensor_id: int
+    size_bytes: int
+
+
+class ExecutionSimulator:
+    """Replays a profiled training iteration under a migration policy.
+
+    The simulator owns the memory substrates (GPU/host pools, unified page
+    table, SSD, migration engine) and enforces the execution rules: a kernel
+    starts only once all of its tensors are resident in GPU memory and its
+    outputs have space; every byte moved is timed by the migration engine; any
+    waiting shows up as per-kernel stall time in the result.
+    """
+
+    def __init__(
+        self,
+        graph: TrainingGraph,
+        config: SystemConfig,
+        policy: MigrationPolicy,
+        report: VitalityReport | None = None,
+    ):
+        if any(k.duration <= 0 for k in graph.kernels):
+            raise SimulationError("graph must be profiled before simulation")
+        self._graph = graph
+        self._config = config
+        self._policy = policy
+        self._report = report or TensorVitalityAnalyzer(graph).analyze()
+
+        gpu_capacity = config.gpu.memory_bytes if policy.enforce_capacity else _UNLIMITED
+        self._gpu = MemoryPool("gpu", gpu_capacity, config.uvm.page_size)
+        self._host = MemoryPool("host", config.host_memory_bytes, config.uvm.page_size)
+        self._page_table = UnifiedPageTable(UnifiedAddressSpace(config.uvm.page_size))
+        self._fault_model = PageFaultModel(config.uvm)
+
+        policy.setup(PolicyContext(config=config, graph=graph, report=self._report))
+        self._engine = MigrationEngine(
+            config,
+            ssd=SSDDevice(config.ssd),
+            per_request_overhead=policy.per_request_overhead(),
+        )
+
+        #: tensor id -> completion time of an in-flight prefetch/fault.
+        self._arrival_time: dict[int, float] = {}
+        #: tensor id -> pending eviction record (GPU space not yet released).
+        self._evicting: dict[int, _PendingEviction] = {}
+        #: min-heap of pending evictions ordered by completion time.
+        self._eviction_heap: list[tuple[float, int]] = []
+        #: Planned prefetches that could not start for lack of GPU headroom;
+        #: retried at the next kernel boundaries (the migration handler keeps
+        #: them queued rather than dropping them).
+        self._deferred_prefetches: OrderedDict[int, None] = OrderedDict()
+        #: LRU recency: insertion-ordered map, oldest-used tensor first.
+        self._last_used: OrderedDict[int, float] = OrderedDict()
+        self._fault_events = 0
+
+        self._deaths_by_slot: dict[int, list[int]] = {}
+        for usage in self._report.usages.values():
+            if not usage.is_global:
+                self._deaths_by_slot.setdefault(usage.death_slot, []).append(usage.tensor_id)
+
+    # -- public API ----------------------------------------------------------------
+
+    @property
+    def engine(self) -> MigrationEngine:
+        return self._engine
+
+    @property
+    def page_table(self) -> UnifiedPageTable:
+        return self._page_table
+
+    def run(self) -> SimulationResult:
+        """Simulate one training iteration and return the result."""
+        try:
+            return self._run()
+        except _WorkloadFailure as failure:
+            return SimulationResult(
+                model_name=self._graph.name,
+                batch_size=self._graph.batch_size,
+                policy_name=self._policy.name,
+                ideal_time=self._graph.trace().total_compute_time,
+                execution_time=float("inf"),
+                failed=True,
+                failure_reason=str(failure),
+            )
+
+    # -- main loop --------------------------------------------------------------------
+
+    def _run(self) -> SimulationResult:
+        self._place_global_tensors()
+        timings: list[KernelTiming] = []
+        now = 0.0
+
+        for kernel in self._graph.kernels:
+            self._drain_evictions(now)
+
+            for tensor_id in list(self._deferred_prefetches):
+                if self._issue_prefetch(tensor_id, now):
+                    self._deferred_prefetches.pop(tensor_id, None)
+            for decision in self._policy.prefetches_for(kernel, now):
+                if not self._issue_prefetch(decision.tensor_id, now):
+                    self._deferred_prefetches[decision.tensor_id] = None
+
+            protected = set(kernel.tensor_ids)
+            ready = now
+            for tensor_id in kernel.tensor_ids:
+                ready = max(ready, self._ensure_resident(tensor_id, protected, now))
+
+            stall = ready - now
+            finish = ready + kernel.duration
+            timings.append(
+                KernelTiming(
+                    index=kernel.index,
+                    ideal_duration=kernel.duration,
+                    stall=stall,
+                    start_time=ready,
+                )
+            )
+            now = finish
+
+            for tensor_id in kernel.tensor_ids:
+                self._last_used[tensor_id] = now
+                self._last_used.move_to_end(tensor_id)
+            self._policy.on_kernel_finished(kernel, now)
+            self._free_dead_tensors(kernel.index)
+
+            for decision in self._policy.evictions_for(kernel, now):
+                self._issue_eviction(decision.tensor_id, decision.destination, now, protected=())
+
+        ssd = self._engine.ssd
+        return SimulationResult(
+            model_name=self._graph.name,
+            batch_size=self._graph.batch_size,
+            policy_name=self._policy.name,
+            ideal_time=self._graph.trace().total_compute_time,
+            execution_time=now,
+            kernel_timings=timings,
+            traffic=self._engine.traffic,
+            ssd_bytes_written=ssd.statistics.bytes_written,
+            ssd_bytes_read=ssd.statistics.bytes_read,
+            ssd_write_amplification=ssd.write_amplification,
+            fault_events=self._fault_events,
+            peak_gpu_bytes=self._gpu.peak_used_bytes,
+            peak_host_bytes=self._host.peak_used_bytes,
+        )
+
+    # -- setup ------------------------------------------------------------------------
+
+    def _place_global_tensors(self) -> None:
+        """Initial residency: weights/optimizer state fill GPU, then host, then SSD."""
+        globals_sorted = sorted(
+            (t for t in self._graph.tensors if t.is_global),
+            key=lambda t: self._report.usages.get(t.tensor_id).birth_slot
+            if t.tensor_id in self._report.usages
+            else 0,
+        )
+        for tensor in globals_sorted:
+            self._page_table.register(tensor.tensor_id, tensor.size_bytes)
+            if self._gpu.can_fit(tensor.size_bytes):
+                self._gpu.allocate(tensor.tensor_id, tensor.size_bytes)
+                self._page_table.place(tensor.tensor_id, MemoryLocation.GPU)
+            elif self._host.can_fit(tensor.size_bytes):
+                self._host.allocate(tensor.tensor_id, tensor.size_bytes)
+                self._page_table.place(tensor.tensor_id, MemoryLocation.HOST)
+            else:
+                self._engine.preload_flash(tensor.tensor_id, tensor.size_bytes)
+                self._page_table.place(tensor.tensor_id, MemoryLocation.FLASH)
+
+    # -- residency management --------------------------------------------------------------
+
+    def _ensure_resident(self, tensor_id: int, protected: set[int], now: float) -> float:
+        """Make one tensor resident in GPU memory; return when it is usable."""
+        size = self._graph.tensor(tensor_id).size_bytes
+
+        if self._gpu.contains(tensor_id):
+            pending = self._evicting.pop(tensor_id, None)
+            if pending is not None:
+                # The tensor was being pre-evicted but is needed again; keep it
+                # resident (the outbound copy becomes wasted bandwidth).
+                self._page_table.place(tensor_id, MemoryLocation.GPU)
+                self._host.free(tensor_id)
+            return max(now, self._arrival_time.get(tensor_id, now))
+
+        if tensor_id not in self._page_table.address_space:
+            self._page_table.register(tensor_id, size)
+
+        location = self._page_table.location_of(tensor_id)
+        space_ready = self._make_space(size, protected, now)
+        self._gpu.allocate(tensor_id, size)
+
+        if location is MemoryLocation.UNMAPPED:
+            # Fresh allocation (kernel output or workspace): no data transfer.
+            self._page_table.place(tensor_id, MemoryLocation.GPU)
+            return space_ready
+
+        # Demand fault: the kernel needs data that lives in host or flash memory.
+        request = MigrationRequest(
+            tensor_id=tensor_id,
+            size_bytes=size,
+            source=location,
+            destination=MemoryLocation.GPU,
+            kind=MigrationKind.FAULT,
+        )
+        overhead = self._fault_model.fault_overhead(size)
+        self._fault_events += self._fault_model.fault_batches(size)
+        completion = self._engine.submit(request, max(now, space_ready) + overhead)
+        self._release_remote_copy(tensor_id, location)
+        self._page_table.place(tensor_id, MemoryLocation.GPU)
+        self._arrival_time[tensor_id] = completion
+        self._deferred_prefetches.pop(tensor_id, None)
+        return completion
+
+    def _issue_prefetch(self, tensor_id: int, now: float) -> bool:
+        """Start fetching a tensor ahead of its use.
+
+        Returns True when the prefetch was issued or is unnecessary, False when
+        it must be retried later because the GPU has no headroom yet.
+        """
+        if self._gpu.contains(tensor_id) or tensor_id in self._arrival_time:
+            if self._gpu.contains(tensor_id):
+                self._evicting.pop(tensor_id, None)
+            return True
+        if tensor_id not in self._page_table.address_space:
+            return True
+        location = self._page_table.location_of(tensor_id)
+        if location in (MemoryLocation.UNMAPPED, MemoryLocation.GPU):
+            return True
+        size = self._graph.tensor(tensor_id).size_bytes
+        self._drain_evictions(now)
+        if not self._gpu.can_fit(size):
+            # No headroom yet: keep the request queued and retry later.
+            return False
+        self._gpu.allocate(tensor_id, size)
+        request = MigrationRequest(
+            tensor_id=tensor_id,
+            size_bytes=size,
+            source=location,
+            destination=MemoryLocation.GPU,
+            kind=MigrationKind.PREFETCH,
+        )
+        completion = self._engine.submit(request, now)
+        self._release_remote_copy(tensor_id, location)
+        self._page_table.place(tensor_id, MemoryLocation.GPU)
+        self._arrival_time[tensor_id] = completion
+        return True
+
+    def _issue_eviction(
+        self,
+        tensor_id: int,
+        destination: MemoryLocation,
+        now: float,
+        protected: tuple[int, ...] | set[int],
+    ) -> float | None:
+        """Start evicting a tensor out of GPU memory; returns its completion time."""
+        if (
+            not self._gpu.contains(tensor_id)
+            or tensor_id in self._evicting
+            or tensor_id in protected
+        ):
+            return None
+        size = self._graph.tensor(tensor_id).size_bytes
+        if destination is MemoryLocation.HOST and not self._host.can_fit(size):
+            destination = MemoryLocation.SSD
+        target = (
+            MemoryLocation.HOST if destination is MemoryLocation.HOST else MemoryLocation.FLASH
+        )
+        request = MigrationRequest(
+            tensor_id=tensor_id,
+            size_bytes=size,
+            source=MemoryLocation.GPU,
+            destination=target,
+            kind=MigrationKind.EVICTION,
+        )
+        completion = self._engine.submit(request, now)
+        if target is MemoryLocation.HOST:
+            self._host.allocate(tensor_id, size)
+        self._page_table.place(tensor_id, target)
+        self._evicting[tensor_id] = _PendingEviction(completion, tensor_id, size)
+        heapq.heappush(self._eviction_heap, (completion, tensor_id))
+        self._arrival_time.pop(tensor_id, None)
+        return completion
+
+    def _release_remote_copy(self, tensor_id: int, location: MemoryLocation) -> None:
+        if location is MemoryLocation.HOST:
+            self._host.free(tensor_id)
+        elif location is MemoryLocation.FLASH:
+            self._engine.ssd.discard_object(tensor_id)
+
+    # -- space management ------------------------------------------------------------------
+
+    def _drain_evictions(self, now: float) -> None:
+        """Release GPU space for evictions whose transfer has completed."""
+        while self._eviction_heap and self._eviction_heap[0][0] <= now:
+            _, tensor_id = heapq.heappop(self._eviction_heap)
+            pending = self._evicting.pop(tensor_id, None)
+            if pending is not None:
+                self._gpu.free(tensor_id)
+
+    def _make_space(self, size_bytes: int, protected: set[int], now: float) -> float:
+        """Ensure ``size_bytes`` can be allocated; returns when the space exists."""
+        current = now
+        self._drain_evictions(current)
+        if self._gpu.can_fit(size_bytes):
+            return current
+
+        # First ask the policy for victims to push out, offering the evictable
+        # resident tensors in least-recently-used order.
+        unavailable = protected | set(self._evicting)
+        resident = [
+            tid
+            for tid in self._gpu.resident_tensors()
+            if tid not in unavailable and tid not in self._last_used
+        ]
+        resident += [
+            tid
+            for tid in self._last_used
+            if self._gpu.contains(tid) and tid not in unavailable
+        ]
+        needed = size_bytes - self._gpu.free_bytes
+        victims = self._policy.select_victims(needed, unavailable, resident, current)
+        for decision in victims:
+            self._issue_eviction(decision.tensor_id, decision.destination, current, protected)
+
+        # Then wait for enough in-flight evictions to drain.
+        while not self._gpu.can_fit(size_bytes):
+            if not self._eviction_heap:
+                raise _WorkloadFailure(
+                    f"policy {self._policy.name!r} cannot free {size_bytes} bytes of GPU "
+                    "memory: the kernel working set exceeds usable capacity"
+                )
+            completion, tensor_id = heapq.heappop(self._eviction_heap)
+            current = max(current, completion)
+            pending = self._evicting.pop(tensor_id, None)
+            if pending is not None:
+                self._gpu.free(tensor_id)
+        return current
+
+    # -- tensor lifetime ------------------------------------------------------------------------
+
+    def _free_dead_tensors(self, slot: int) -> None:
+        """Release intermediate tensors after their last use."""
+        for tensor_id in self._deaths_by_slot.pop(slot, ()):
+            self._gpu.free(tensor_id)
+            self._host.free(tensor_id)
+            if (
+                tensor_id in self._page_table.address_space
+                and self._page_table.location_of(tensor_id) is MemoryLocation.FLASH
+            ):
+                self._engine.ssd.discard_object(tensor_id)
+            if tensor_id in self._page_table.address_space:
+                self._page_table.unmap(tensor_id)
+            self._arrival_time.pop(tensor_id, None)
+            self._evicting.pop(tensor_id, None)
+            self._last_used.pop(tensor_id, None)

@@ -1,0 +1,132 @@
+"""Result records produced by the execution simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..uvm.migration import TrafficCounters
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Timing of one kernel in the simulated execution."""
+
+    index: int
+    ideal_duration: float
+    stall: float
+    start_time: float
+
+    @property
+    def actual_duration(self) -> float:
+        return self.ideal_duration + self.stall
+
+    @property
+    def slowdown(self) -> float:
+        """Actual over ideal duration (1.0 means no stall)."""
+        if self.ideal_duration <= 0:
+            return 1.0
+        return self.actual_duration / self.ideal_duration
+
+
+@dataclass
+class SimulationResult:
+    """Everything a policy run produces, consumed by the experiment harness."""
+
+    model_name: str
+    batch_size: int
+    policy_name: str
+    #: Sum of kernel durations: the execution time of the infinite-memory ideal.
+    ideal_time: float
+    #: Simulated end-to-end execution time of one training iteration.
+    execution_time: float
+    kernel_timings: list[KernelTiming] = field(default_factory=list)
+    traffic: TrafficCounters = field(default_factory=TrafficCounters)
+    #: Bytes written to / read from the SSD (subset of ``traffic``).
+    ssd_bytes_written: float = 0.0
+    ssd_bytes_read: float = 0.0
+    ssd_write_amplification: float = 1.0
+    #: Number of demand page-fault events taken during execution.
+    fault_events: int = 0
+    #: Peak bytes resident in GPU / host memory during the run.
+    peak_gpu_bytes: int = 0
+    peak_host_bytes: int = 0
+    #: True when the policy could not execute the workload (e.g. FlashNeuron
+    #: with a kernel working set that exceeds GPU memory).
+    failed: bool = False
+    failure_reason: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.failed and self.execution_time + 1e-12 < self.ideal_time:
+            raise SimulationError(
+                "execution time cannot beat the infinite-memory ideal "
+                f"({self.execution_time} < {self.ideal_time})"
+            )
+
+    # -- headline metrics ------------------------------------------------------
+
+    @property
+    def normalized_performance(self) -> float:
+        """Throughput normalised to the ideal system (Figure 11's y-axis)."""
+        if self.failed or self.execution_time <= 0:
+            return 0.0
+        return self.ideal_time / self.execution_time
+
+    @property
+    def slowdown(self) -> float:
+        """Execution time over ideal time (>= 1.0)."""
+        if self.failed:
+            return float("inf")
+        return self.execution_time / self.ideal_time
+
+    def throughput(self) -> float:
+        """Training throughput in samples per second (Figure 15's y-axis)."""
+        if self.failed or self.execution_time <= 0:
+            return 0.0
+        return self.batch_size / self.execution_time
+
+    @property
+    def total_stall_time(self) -> float:
+        return sum(t.stall for t in self.kernel_timings)
+
+    @property
+    def stall_fraction(self) -> float:
+        """Fraction of execution time spent stalled (Figure 12's dark bars)."""
+        if self.failed or self.execution_time <= 0:
+            return 1.0
+        return min(1.0, self.total_stall_time / self.execution_time)
+
+    @property
+    def overlap_fraction(self) -> float:
+        """Fraction of execution time where compute proceeds (Figure 12's light bars)."""
+        return 1.0 - self.stall_fraction
+
+    def kernel_slowdowns(self) -> np.ndarray:
+        """Per-kernel slowdown factors (Figure 13's distribution)."""
+        return np.asarray([t.slowdown for t in self.kernel_timings], dtype=np.float64)
+
+    def stalled_kernel_fraction(self, threshold: float = 1.01) -> float:
+        """Fraction of kernels slowed beyond ``threshold`` x ideal."""
+        slowdowns = self.kernel_slowdowns()
+        if slowdowns.size == 0:
+            return 0.0
+        return float((slowdowns > threshold).mean())
+
+    def summary(self) -> dict[str, float | str | bool]:
+        """Compact dictionary used by reports and tests."""
+        return {
+            "model": self.model_name,
+            "batch_size": self.batch_size,
+            "policy": self.policy_name,
+            "ideal_time_s": self.ideal_time,
+            "execution_time_s": self.execution_time,
+            "normalized_performance": self.normalized_performance,
+            "throughput": self.throughput(),
+            "stall_fraction": self.stall_fraction,
+            "gpu_ssd_traffic_gb": self.traffic.gpu_ssd_bytes / 1e9,
+            "gpu_host_traffic_gb": self.traffic.gpu_host_bytes / 1e9,
+            "fault_events": self.fault_events,
+            "failed": self.failed,
+        }

@@ -1,0 +1,25 @@
+"""Flash SSD substrate: geometry, FTL, garbage collection, wear accounting.
+
+The paper integrates an SSDSim-based model of a Samsung Z-NAND drive into its
+simulator so that flash-internal activities (garbage collection, chip-level
+latencies) are reflected in end-to-end results, and §7.7 estimates the impact
+of tensor migration traffic on device lifetime. This package provides the
+equivalent substrate: a page-mapped FTL (:class:`FlashTranslationLayer`),
+greedy garbage collection, a bandwidth/latency service model
+(:class:`SSDDevice`), and endurance accounting (:class:`WearTracker`).
+"""
+
+from .flash import FlashGeometry, FlashBlock
+from .ftl import FlashTranslationLayer
+from .ssd import SSDDevice, SSDStatistics
+from .wear import WearTracker, LifetimeEstimate
+
+__all__ = [
+    "FlashGeometry",
+    "FlashBlock",
+    "FlashTranslationLayer",
+    "SSDDevice",
+    "SSDStatistics",
+    "WearTracker",
+    "LifetimeEstimate",
+]

@@ -1,0 +1,176 @@
+"""Page-mapped flash translation layer with greedy garbage collection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SSDError
+from .flash import FlashBlock, FlashGeometry
+
+
+@dataclass
+class GCResult:
+    """Outcome of one garbage-collection invocation."""
+
+    blocks_erased: int = 0
+    pages_relocated: int = 0
+
+    @property
+    def ran(self) -> bool:
+        return self.blocks_erased > 0
+
+
+@dataclass
+class FlashTranslationLayer:
+    """Maps logical flash pages to physical (block, offset) locations.
+
+    Writes are appended log-style to the currently open block per the greedy
+    allocation policy; overwriting a logical page invalidates its previous
+    physical location. When the pool of free blocks drops below the GC
+    threshold, greedy garbage collection relocates the valid pages of the
+    blocks with the fewest valid pages and erases them.
+    """
+
+    geometry: FlashGeometry
+    gc_threshold_blocks: int = 2
+    blocks: list[FlashBlock] = field(default_factory=list)
+    _mapping: dict[int, tuple[int, int]] = field(default_factory=dict)
+    _open_block: int | None = None
+    _free_blocks: list[int] = field(default_factory=list)
+    #: Cumulative counters used by the wear model.
+    host_pages_written: int = 0
+    gc_pages_written: int = 0
+    blocks_erased: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.blocks:
+            self.blocks = [
+                FlashBlock(block_id=i, pages_per_block=self.geometry.pages_per_block)
+                for i in range(self.geometry.total_blocks)
+            ]
+            self._free_blocks = list(range(len(self.blocks)))
+
+    # -- capacity ------------------------------------------------------------
+
+    @property
+    def free_block_count(self) -> int:
+        return len(self._free_blocks) + (1 if self._open_block is not None else 0)
+
+    @property
+    def mapped_pages(self) -> int:
+        return len(self._mapping)
+
+    @property
+    def write_amplification(self) -> float:
+        """Total programmed pages / host-written pages (1.0 means no GC traffic)."""
+        if self.host_pages_written == 0:
+            return 1.0
+        return (self.host_pages_written + self.gc_pages_written) / self.host_pages_written
+
+    def physical_location(self, logical_page: int) -> tuple[int, int]:
+        """Current (block, offset) of a logical page."""
+        try:
+            return self._mapping[logical_page]
+        except KeyError as exc:
+            raise SSDError(f"logical page {logical_page} is not mapped") from exc
+
+    def is_mapped(self, logical_page: int) -> bool:
+        return logical_page in self._mapping
+
+    # -- operations ------------------------------------------------------------
+
+    def write(self, logical_page: int) -> GCResult:
+        """Write (or overwrite) one logical page; returns any GC work triggered."""
+        gc_result = self._maybe_collect()
+        self._invalidate_if_mapped(logical_page)
+        block_id = self._writable_block()
+        offset = self.blocks[block_id].program()
+        self._mapping[logical_page] = (block_id, offset)
+        self.host_pages_written += 1
+        return gc_result
+
+    def read(self, logical_page: int) -> tuple[int, int]:
+        """Read one logical page, returning its physical location."""
+        return self.physical_location(logical_page)
+
+    def trim(self, logical_page: int) -> None:
+        """Discard a logical page (the tensor was freed or migrated elsewhere)."""
+        self._invalidate_if_mapped(logical_page)
+        self._mapping.pop(logical_page, None)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _invalidate_if_mapped(self, logical_page: int) -> None:
+        location = self._mapping.get(logical_page)
+        if location is not None:
+            block_id, offset = location
+            self.blocks[block_id].invalidate(offset)
+
+    def _writable_block(self) -> int:
+        if self._open_block is not None and not self.blocks[self._open_block].is_full:
+            return self._open_block
+        if not self._free_blocks:
+            raise SSDError("flash device is out of space")
+        self._open_block = self._free_blocks.pop()
+        return self._open_block
+
+    def _maybe_collect(self) -> GCResult:
+        result = GCResult()
+        while self.free_block_count <= self.gc_threshold_blocks:
+            victim = self._pick_victim()
+            if victim is None:
+                break
+            result.pages_relocated += self._collect_block(victim)
+            result.blocks_erased += 1
+        return result
+
+    def _pick_victim(self) -> int | None:
+        """Greedy victim selection: the closed block with the fewest valid pages."""
+        candidates = [
+            b for b in self.blocks
+            if b.is_full and b.block_id != self._open_block
+        ]
+        if not candidates:
+            return None
+        victim = min(candidates, key=lambda b: b.valid_pages)
+        if victim.valid_pages >= self.geometry.pages_per_block:
+            return None
+        return victim.block_id
+
+    def _collect_block(self, block_id: int) -> int:
+        """Relocate the victim's valid pages and erase it."""
+        victim = self.blocks[block_id]
+        relocations = [
+            logical
+            for logical, (blk, _off) in self._mapping.items()
+            if blk == block_id
+        ]
+        relocated = 0
+        for logical in relocations:
+            _blk, offset = self._mapping[logical]
+            if not victim.valid[offset]:
+                continue
+            victim.invalidate(offset)
+            destination = self._writable_block_excluding(block_id)
+            new_offset = self.blocks[destination].program()
+            self._mapping[logical] = (destination, new_offset)
+            self.gc_pages_written += 1
+            relocated += 1
+        victim.erase()
+        self.blocks_erased += 1
+        self._free_blocks.append(block_id)
+        return relocated
+
+    def _writable_block_excluding(self, excluded: int) -> int:
+        if (
+            self._open_block is not None
+            and self._open_block != excluded
+            and not self.blocks[self._open_block].is_full
+        ):
+            return self._open_block
+        while self._free_blocks:
+            candidate = self._free_blocks.pop()
+            if candidate != excluded:
+                self._open_block = candidate
+                return candidate
+        raise SSDError("garbage collection could not find a destination block")

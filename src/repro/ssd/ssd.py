@@ -1,0 +1,181 @@
+"""SSD device model: FTL + service timing + wear statistics."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..config import SSDConfig
+from ..errors import SSDError
+from .flash import FlashGeometry
+from .ftl import FlashTranslationLayer
+from .wear import LifetimeEstimate, WearTracker
+
+#: Upper bound on FTL mapping entries kept by the device model. Tensor-sized
+#: transfers are mapped at a coarser granularity when the configured capacity
+#: would otherwise require tens of millions of per-page records.
+_MAX_MAPPED_UNITS = 1 << 17
+
+
+@dataclass
+class SSDStatistics:
+    """Externally visible counters of one simulated SSD."""
+
+    bytes_written: float = 0.0
+    bytes_read: float = 0.0
+    host_writes: int = 0
+    host_reads: int = 0
+    gc_invocations: int = 0
+    gc_pages_relocated: int = 0
+    busy_write_seconds: float = 0.0
+    busy_read_seconds: float = 0.0
+
+
+class SSDDevice:
+    """A flash SSD servicing tensor-granularity reads and writes.
+
+    The device keeps a page-mapped FTL (at a coarsened mapping unit so the
+    structure stays small even for a 3.2 TB device), charges read/write latency
+    and bandwidth per request, runs greedy garbage collection when free blocks
+    run low, and feeds a :class:`WearTracker` for the §7.7 lifetime analysis.
+    """
+
+    def __init__(self, config: SSDConfig):
+        self._config = config
+        self._mapping_unit = self._choose_mapping_unit(config)
+        geometry_pages = max(config.capacity_bytes // self._mapping_unit, config.pages_per_block)
+        blocks = max(int(geometry_pages // config.pages_per_block), config.channels)
+        self._geometry = FlashGeometry(
+            channels=config.channels,
+            blocks_per_channel=max(blocks // config.channels, 1),
+            pages_per_block=config.pages_per_block,
+            page_size=self._mapping_unit,
+        )
+        gc_blocks = max(2, int(self._geometry.total_blocks * config.gc_threshold))
+        self._ftl = FlashTranslationLayer(self._geometry, gc_threshold_blocks=gc_blocks)
+        self._wear = WearTracker(config)
+        self._stats = SSDStatistics()
+        #: logical unit ids assigned to each stored object (tensor id -> units).
+        self._objects: dict[int, list[int]] = {}
+        self._next_unit = 0
+
+    @staticmethod
+    def _choose_mapping_unit(config: SSDConfig) -> int:
+        unit = config.flash_page_size
+        while config.capacity_bytes // unit > _MAX_MAPPED_UNITS:
+            unit *= 2
+        return unit
+
+    # -- properties -----------------------------------------------------------
+
+    @property
+    def config(self) -> SSDConfig:
+        return self._config
+
+    @property
+    def geometry(self) -> FlashGeometry:
+        return self._geometry
+
+    @property
+    def statistics(self) -> SSDStatistics:
+        return self._stats
+
+    @property
+    def wear(self) -> WearTracker:
+        return self._wear
+
+    @property
+    def write_amplification(self) -> float:
+        return self._ftl.write_amplification
+
+    @property
+    def stored_bytes(self) -> int:
+        """Bytes of live objects currently resident on flash."""
+        return sum(len(units) for units in self._objects.values()) * self._mapping_unit
+
+    def contains(self, object_id: int) -> bool:
+        return object_id in self._objects
+
+    # -- service model -----------------------------------------------------------
+
+    def write_object(self, object_id: int, size_bytes: int) -> float:
+        """Store (or overwrite) an object; returns the device service time."""
+        if size_bytes <= 0:
+            raise SSDError("cannot write an empty object")
+        if self.stored_bytes + size_bytes > self._config.capacity_bytes:
+            raise SSDError("SSD capacity exceeded")
+        self._discard_units(object_id)
+        units = []
+        gc_pages = 0
+        gc_runs = 0
+        for _ in range(self._units_for(size_bytes)):
+            unit = self._next_unit
+            self._next_unit += 1
+            result = self._ftl.write(unit)
+            if result.ran:
+                gc_runs += result.blocks_erased
+                gc_pages += result.pages_relocated
+            units.append(unit)
+        self._objects[object_id] = units
+
+        service = self._transfer_time(size_bytes, write=True)
+        service += gc_pages * (self._config.write_latency + self._config.read_latency)
+        service += gc_runs * self._config.erase_latency
+        self._stats.bytes_written += size_bytes
+        self._stats.host_writes += 1
+        self._stats.gc_invocations += gc_runs
+        self._stats.gc_pages_relocated += gc_pages
+        self._stats.busy_write_seconds += service
+        self._wear.record_write(size_bytes)
+        return service
+
+    def read_object(self, object_id: int, size_bytes: int) -> float:
+        """Read an object back; returns the device service time."""
+        if object_id not in self._objects:
+            raise SSDError(f"object {object_id} is not stored on the SSD")
+        service = self._transfer_time(size_bytes, write=False)
+        self._stats.bytes_read += size_bytes
+        self._stats.host_reads += 1
+        self._stats.busy_read_seconds += service
+        self._wear.record_read(size_bytes)
+        return service
+
+    def preload_object(self, object_id: int, size_bytes: int) -> None:
+        """Map an object onto flash without charging service time or wear.
+
+        Intended for initial residency setup (e.g. weights loaded from a
+        checkpoint before the simulated iteration starts).
+        """
+        if size_bytes <= 0:
+            raise SSDError("cannot preload an empty object")
+        self._discard_units(object_id)
+        units = []
+        for _ in range(self._units_for(size_bytes)):
+            unit = self._next_unit
+            self._next_unit += 1
+            self._ftl.write(unit)
+            units.append(unit)
+        self._objects[object_id] = units
+
+    def discard_object(self, object_id: int) -> None:
+        """TRIM an object (freed tensor or tensor migrated back for good)."""
+        self._discard_units(object_id)
+        self._objects.pop(object_id, None)
+
+    def lifetime(self, elapsed_seconds: float) -> LifetimeEstimate:
+        """Project device lifetime from the traffic recorded so far (§7.7)."""
+        return self._wear.lifetime(elapsed_seconds, self.write_amplification)
+
+    # -- internals ------------------------------------------------------------------
+
+    def _units_for(self, size_bytes: int) -> int:
+        return max(1, math.ceil(size_bytes / self._mapping_unit))
+
+    def _discard_units(self, object_id: int) -> None:
+        for unit in self._objects.get(object_id, ()):
+            self._ftl.trim(unit)
+
+    def _transfer_time(self, size_bytes: int, write: bool) -> float:
+        bandwidth = self._config.write_bandwidth if write else self._config.read_bandwidth
+        latency = self._config.write_latency if write else self._config.read_latency
+        return latency + size_bytes / bandwidth

@@ -1,0 +1,43 @@
+"""GPU page-fault path cost model."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..config import UVMConfig
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PageFaultModel:
+    """Latency model of the UVM demand-paging path.
+
+    Faulting a tensor in via on-demand paging costs one fault round trip per
+    *fault batch* (real UVM drivers service a faulting warp by migrating a
+    neighbourhood of pages, not a single 4 KB page), plus the page-table-walk
+    and transfer costs charged elsewhere. The 45 µs round trip comes straight
+    from Table 2.
+    """
+
+    config: UVMConfig
+
+    def __post_init__(self) -> None:
+        if self.config.fault_batch_bytes <= 0:
+            raise ConfigurationError("fault batch size must be positive")
+
+    def fault_batches(self, size_bytes: int) -> int:
+        """How many fault round trips a tensor of the given size needs."""
+        if size_bytes <= 0:
+            return 0
+        return max(1, math.ceil(size_bytes / self.config.fault_batch_bytes))
+
+    def fault_overhead(self, size_bytes: int) -> float:
+        """Total fault-handling latency (excluding the data transfer itself)."""
+        return self.fault_batches(size_bytes) * self.config.fault_latency
+
+    def translation_overhead(self, num_pages: int, tlb_misses: int) -> float:
+        """Address-translation cost for touching ``num_pages`` with given misses."""
+        if num_pages < 0 or tlb_misses < 0:
+            raise ConfigurationError("page and miss counts cannot be negative")
+        return tlb_misses * self.config.page_walk_latency

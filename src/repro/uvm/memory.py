@@ -1,0 +1,82 @@
+"""Byte/page accounted memory pools for GPU and host memory."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..config import PAGE_SIZE
+from ..errors import AllocationError
+
+
+@dataclass
+class MemoryPool:
+    """A capacity-limited memory pool tracking per-tensor residency.
+
+    Allocation is accounted at page granularity (a tensor occupies whole
+    pages), which is how the unified memory system manages every tensor.
+    """
+
+    name: str
+    capacity_bytes: int
+    page_size: int = PAGE_SIZE
+    _resident: dict[int, int] = field(default_factory=dict)
+    #: High-water mark of occupancy, for reporting.
+    peak_used_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes < 0:
+            raise AllocationError(f"pool {self.name!r} cannot have negative capacity")
+        if self.page_size <= 0:
+            raise AllocationError("page size must be positive")
+
+    # -- accounting -------------------------------------------------------
+
+    def _page_bytes(self, size_bytes: int) -> int:
+        return max(1, math.ceil(size_bytes / self.page_size)) * self.page_size
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(self._resident.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    @property
+    def num_resident(self) -> int:
+        return len(self._resident)
+
+    def contains(self, tensor_id: int) -> bool:
+        return tensor_id in self._resident
+
+    def resident_tensors(self) -> list[int]:
+        return list(self._resident)
+
+    def resident_size(self, tensor_id: int) -> int:
+        return self._resident.get(tensor_id, 0)
+
+    def can_fit(self, size_bytes: int) -> bool:
+        return self._page_bytes(size_bytes) <= self.free_bytes
+
+    # -- mutation -----------------------------------------------------------
+
+    def allocate(self, tensor_id: int, size_bytes: int) -> None:
+        """Reserve space for a tensor; raises when the pool is full."""
+        if tensor_id in self._resident:
+            return
+        rounded = self._page_bytes(size_bytes)
+        if rounded > self.free_bytes:
+            raise AllocationError(
+                f"pool {self.name!r} cannot fit tensor {tensor_id}: "
+                f"need {rounded} bytes, only {self.free_bytes} free"
+            )
+        self._resident[tensor_id] = rounded
+        self.peak_used_bytes = max(self.peak_used_bytes, self.used_bytes)
+
+    def free(self, tensor_id: int) -> int:
+        """Release a tensor's space; returns the bytes freed (0 if absent)."""
+        return self._resident.pop(tensor_id, 0)
+
+    def clear(self) -> None:
+        self._resident.clear()

@@ -1,0 +1,124 @@
+"""Unified page table whose leaf entries resolve to GPU, host, or flash."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..errors import TranslationError
+from .address_space import UnifiedAddressSpace, VirtualRange
+
+
+class MemoryLocation(Enum):
+    """Physical backing of a page in the unified space."""
+
+    GPU = "gpu"
+    HOST = "host"
+    FLASH = "flash"
+    #: Alias: policies talk about "the SSD", the page table about flash pages.
+    SSD = "flash"
+    UNMAPPED = "unmapped"
+
+
+@dataclass(frozen=True)
+class PageTableEntry:
+    """One leaf PTE: where a virtual page currently lives.
+
+    The paper extends UVM's page table so a PTE can hold a flash page address
+    in addition to host/GPU physical addresses, letting the SSD controller
+    update mappings during garbage collection without host involvement.
+    """
+
+    virtual_page: int
+    location: MemoryLocation
+    physical_page: int
+
+    @property
+    def is_resident_on_gpu(self) -> bool:
+        return self.location is MemoryLocation.GPU
+
+
+@dataclass
+class UnifiedPageTable:
+    """Tracks the physical location of every tensor's pages.
+
+    For efficiency the table keeps one extent-level record per tensor (all of
+    a tensor's pages move together under G10's tensor-granularity migration),
+    while still exposing per-page translation for fault-path modelling.
+    """
+
+    address_space: UnifiedAddressSpace
+    _locations: dict[int, MemoryLocation] = field(default_factory=dict)
+    _physical_base: dict[int, int] = field(default_factory=dict)
+    _next_physical: dict[MemoryLocation, int] = field(default_factory=dict)
+    #: Counters of PTE updates, exercised by GC remapping and migrations.
+    pte_updates: int = 0
+
+    def register(self, tensor_id: int, size_bytes: int) -> VirtualRange:
+        """Create the virtual mapping for a tensor; initially unmapped."""
+        vrange = self.address_space.allocate(tensor_id, size_bytes)
+        self._locations.setdefault(tensor_id, MemoryLocation.UNMAPPED)
+        return vrange
+
+    # -- queries ---------------------------------------------------------------
+
+    def location_of(self, tensor_id: int) -> MemoryLocation:
+        try:
+            return self._locations[tensor_id]
+        except KeyError as exc:
+            raise TranslationError(f"tensor {tensor_id} is not registered") from exc
+
+    def is_resident(self, tensor_id: int) -> bool:
+        return self.location_of(tensor_id) is MemoryLocation.GPU
+
+    def translate(self, vaddr: int) -> PageTableEntry:
+        """Translate one virtual address to its leaf PTE."""
+        tensor_id = self.address_space.tensor_at(vaddr)
+        vrange = self.address_space.range_of(tensor_id)
+        location = self._locations[tensor_id]
+        if location is MemoryLocation.UNMAPPED:
+            raise TranslationError(f"virtual address {vaddr:#x} is not backed by any memory")
+        page_offset = (vaddr - vrange.start) // vrange.page_size
+        base = self._physical_base.get(tensor_id, 0)
+        return PageTableEntry(
+            virtual_page=vrange.first_page + page_offset,
+            location=location,
+            physical_page=base + page_offset,
+        )
+
+    def resident_tensors(self, location: MemoryLocation) -> list[int]:
+        """All tensors currently placed in one location."""
+        return [tid for tid, loc in self._locations.items() if loc is location]
+
+    # -- updates ---------------------------------------------------------------
+
+    def place(self, tensor_id: int, location: MemoryLocation) -> int:
+        """Move a tensor's pages to a new location, updating its PTEs.
+
+        Returns the number of PTEs updated (one per 4 KB page), which the
+        simulator uses to charge page-table maintenance costs.
+        """
+        if tensor_id not in self._locations:
+            raise TranslationError(f"tensor {tensor_id} is not registered")
+        vrange = self.address_space.range_of(tensor_id)
+        self._locations[tensor_id] = location
+        base = self._next_physical.get(location, 0)
+        self._physical_base[tensor_id] = base
+        self._next_physical[location] = base + vrange.num_pages
+        self.pte_updates += vrange.num_pages
+        return vrange.num_pages
+
+    def unmap(self, tensor_id: int) -> None:
+        """Drop the physical backing of a tensor (freed intermediate)."""
+        if tensor_id not in self._locations:
+            raise TranslationError(f"tensor {tensor_id} is not registered")
+        self._locations[tensor_id] = MemoryLocation.UNMAPPED
+
+    def remap_flash_pages(self, tensor_id: int, new_base: int) -> int:
+        """SSD-controller-driven remap after garbage collection moved flash pages."""
+        if self.location_of(tensor_id) is not MemoryLocation.FLASH:
+            raise TranslationError("only flash-resident tensors can be GC-remapped")
+        vrange = self.address_space.range_of(tensor_id)
+        self._physical_base[tensor_id] = new_base
+        self.pte_updates += vrange.num_pages
+        return vrange.num_pages

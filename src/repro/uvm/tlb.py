@@ -1,0 +1,50 @@
+"""A small set-associative-ish TLB model for the unified address space."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+
+
+@dataclass
+class TLB:
+    """LRU TLB over virtual page numbers.
+
+    The executor charges a page-table walk for every miss; hit/miss counters
+    feed the address-translation overhead model.
+    """
+
+    entries: int = 4096
+    _cache: OrderedDict[int, bool] = field(default_factory=OrderedDict)
+    hits: int = 0
+    misses: int = 0
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0:
+            raise ConfigurationError("TLB must have a positive number of entries")
+
+    def access(self, virtual_page: int) -> bool:
+        """Touch one virtual page; returns True on a hit."""
+        if virtual_page in self._cache:
+            self._cache.move_to_end(virtual_page)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._cache[virtual_page] = True
+        if len(self._cache) > self.entries:
+            self._cache.popitem(last=False)
+        return False
+
+    def invalidate(self, virtual_page: int) -> None:
+        """Shoot down one entry (its page moved to a different memory)."""
+        self._cache.pop(virtual_page, None)
+
+    def flush(self) -> None:
+        self._cache.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,88 @@
+"""Shared fixtures: tiny hand-built graphs and session-cached CI workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import GB, MB, SystemConfig, ci_config, paper_config
+from repro.core.vitality import TensorVitalityAnalyzer
+from repro.experiments.harness import build_workload
+from repro.graph import DataflowGraph, expand_training
+from repro.graph.tensor import TensorKind
+from repro.graph.operator import OpType
+from repro.models.builder import ModelBuilder
+from repro.profiling import profile_training_graph
+
+
+def build_tiny_mlp(batch_size: int = 4, hidden: int = 64, layers: int = 3) -> DataflowGraph:
+    """A minimal multi-layer perceptron used across unit tests."""
+    builder = ModelBuilder(name=f"tiny-mlp-{batch_size}", batch_size=batch_size)
+    x = builder.graph.add_tensor("input", (batch_size, hidden), TensorKind.INPUT)
+    for _ in range(layers):
+        x = builder.linear(x, hidden)
+        x = builder.relu(x)
+    builder.classifier(x, 10)
+    return builder.build()
+
+
+def build_branchy_graph(batch_size: int = 2) -> DataflowGraph:
+    """A graph with a residual branch, exercising join/branch lifetimes."""
+    builder = ModelBuilder(name=f"branchy-{batch_size}", batch_size=batch_size)
+    x = builder.input_image(3, 16, 16)
+    a = builder.conv2d(x, 8, 3)
+    a = builder.batchnorm(a)
+    b = builder.conv2d(a, 8, 3)
+    b = builder.batchnorm(b)
+    joined = builder.add(a, b)
+    joined = builder.relu(joined)
+    pooled = builder.global_pool(joined)
+    builder.classifier(pooled, 5)
+    return builder.build()
+
+
+@pytest.fixture(scope="session")
+def tiny_graph() -> DataflowGraph:
+    return build_tiny_mlp()
+
+
+@pytest.fixture(scope="session")
+def branchy_graph() -> DataflowGraph:
+    return build_branchy_graph()
+
+
+@pytest.fixture(scope="session")
+def small_config() -> SystemConfig:
+    """A deliberately tiny system so the tiny MLP still overflows GPU memory."""
+    return paper_config().with_gpu_memory(192 * 1024).with_host_memory(256 * 1024)
+
+
+@pytest.fixture(scope="session")
+def paper_cfg() -> SystemConfig:
+    return paper_config()
+
+
+@pytest.fixture(scope="session")
+def ci_cfg() -> SystemConfig:
+    return ci_config()
+
+
+@pytest.fixture(scope="session")
+def tiny_training(tiny_graph, paper_cfg):
+    """Profiled training iteration of the tiny MLP."""
+    return profile_training_graph(expand_training(tiny_graph), paper_cfg)
+
+
+@pytest.fixture(scope="session")
+def tiny_report(tiny_training):
+    return TensorVitalityAnalyzer(tiny_training).analyze()
+
+
+@pytest.fixture(scope="session")
+def bert_ci_workload():
+    """A CI-scale BERT workload whose footprint exceeds its (scaled) GPU memory."""
+    return build_workload("bert", scale="ci")
+
+
+@pytest.fixture(scope="session")
+def resnet_ci_workload():
+    return build_workload("resnet152", scale="ci")

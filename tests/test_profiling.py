@@ -1,0 +1,115 @@
+"""Tests for the cost model, trace generation and profiling-noise injection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import GPUConfig, paper_config
+from repro.errors import ConfigurationError
+from repro.graph import Kernel, KernelPhase, expand_training
+from repro.profiling import (
+    KernelCostModel,
+    perturb_durations,
+    perturb_trace,
+    profile_training_graph,
+)
+
+from conftest import build_tiny_mlp
+
+
+def _kernel(flops: float, nbytes: float, compute_class: str = "generic") -> Kernel:
+    return Kernel(
+        index=0, name="k", phase=KernelPhase.FORWARD, op_id=0,
+        output_ids=(1,), flops=flops, bytes_accessed=nbytes, compute_class=compute_class,
+    )
+
+
+class TestCostModel:
+    def test_compute_bound_kernel(self):
+        gpu = GPUConfig()
+        model = KernelCostModel(gpu)
+        kernel = _kernel(flops=1e12, nbytes=1e6)
+        expected = 1e12 / (gpu.peak_flops * gpu.compute_efficiency) + gpu.kernel_launch_overhead
+        assert model.kernel_duration(kernel) == pytest.approx(expected)
+
+    def test_memory_bound_kernel(self):
+        gpu = GPUConfig()
+        model = KernelCostModel(gpu)
+        kernel = _kernel(flops=1.0, nbytes=1e9)
+        expected = 1e9 / gpu.memory_bandwidth + gpu.kernel_launch_overhead
+        assert model.kernel_duration(kernel) == pytest.approx(expected)
+
+    def test_gemm_is_faster_than_conv_for_same_flops(self):
+        model = KernelCostModel(GPUConfig())
+        gemm = model.kernel_duration(_kernel(1e12, 0, "gemm"))
+        conv = model.kernel_duration(_kernel(1e12, 0, "conv"))
+        grouped = model.kernel_duration(_kernel(1e12, 0, "grouped_conv"))
+        assert gemm < conv < grouped
+
+    def test_launch_overhead_is_floor(self):
+        gpu = GPUConfig()
+        model = KernelCostModel(gpu)
+        assert model.kernel_duration(_kernel(0.0, 0.0)) == pytest.approx(
+            gpu.kernel_launch_overhead
+        )
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KernelCostModel(GPUConfig()).compute_time(-1)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KernelCostModel(GPUConfig()).memory_time(-1)
+
+    @given(flops=st.floats(min_value=0, max_value=1e15), nbytes=st.floats(min_value=0, max_value=1e12))
+    @settings(max_examples=50, deadline=None)
+    def test_duration_is_positive_and_monotone(self, flops, nbytes):
+        model = KernelCostModel(GPUConfig())
+        duration = model.kernel_duration(_kernel(flops, nbytes))
+        assert duration > 0
+        assert model.kernel_duration(_kernel(flops * 2, nbytes)) >= duration - 1e-12
+
+
+class TestTraceProfiling:
+    def test_profile_fills_every_duration(self):
+        training = expand_training(build_tiny_mlp())
+        profiled = profile_training_graph(training, paper_config())
+        assert all(k.duration > 0 for k in profiled.kernels)
+
+    def test_original_graph_is_untouched(self):
+        training = expand_training(build_tiny_mlp())
+        profile_training_graph(training, paper_config())
+        assert all(k.duration == 0 for k in training.kernels)
+
+    def test_accepts_bare_gpu_config(self):
+        training = expand_training(build_tiny_mlp())
+        profiled = profile_training_graph(training, paper_config().gpu)
+        assert profiled.trace().total_compute_time > 0
+
+
+class TestProfilingNoise:
+    def test_zero_error_is_identity(self, tiny_training):
+        assert perturb_durations(tiny_training.kernels, 0.0) == list(tiny_training.kernels)
+
+    def test_noise_is_bounded(self, tiny_training):
+        noisy = perturb_durations(tiny_training.kernels, 0.2, seed=3)
+        for original, perturbed in zip(tiny_training.kernels, noisy):
+            ratio = perturbed.duration / original.duration
+            assert 0.8 - 1e-9 <= ratio <= 1.2 + 1e-9
+
+    def test_noise_is_deterministic_per_seed(self, tiny_training):
+        a = perturb_durations(tiny_training.kernels, 0.1, seed=7)
+        b = perturb_durations(tiny_training.kernels, 0.1, seed=7)
+        c = perturb_durations(tiny_training.kernels, 0.1, seed=8)
+        assert [k.duration for k in a] == [k.duration for k in b]
+        assert [k.duration for k in a] != [k.duration for k in c]
+
+    def test_perturb_trace_wraps_graph(self, tiny_training):
+        noisy = perturb_trace(tiny_training, 0.1, seed=1)
+        assert noisy.num_kernels == tiny_training.num_kernels
+        assert noisy.tensors is tiny_training.tensors
+
+    @pytest.mark.parametrize("error", [-0.1, 1.0, 1.5])
+    def test_invalid_error_rejected(self, tiny_training, error):
+        with pytest.raises(ConfigurationError):
+            perturb_durations(tiny_training.kernels, error)

@@ -1,0 +1,283 @@
+"""Tests for the smart eviction scheduler, prefetcher and migration plan (§4.3-4.4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import MB, SystemConfig, paper_config
+from repro.core import (
+    ChannelSchedule,
+    Direction,
+    EvictionPolicyConfig,
+    MemoryPressureTimeline,
+    MigrationDestination,
+    MigrationPlanner,
+    SmartEvictionScheduler,
+    SmartPrefetcher,
+    instrument_program,
+)
+from repro.core.plan import MigrationPlan, PlannedEviction, PlannedPrefetch
+from repro.core.pressure import period_slot_indices
+from repro.core.vitality import InactivePeriod, TensorVitalityAnalyzer
+from repro.errors import SchedulingError
+
+
+def _small_system(gpu_bytes: int, host_bytes: int = 64 * MB) -> SystemConfig:
+    return paper_config().with_gpu_memory(gpu_bytes).with_host_memory(host_bytes)
+
+
+class TestMemoryPressureTimeline:
+    def test_excess_and_benefit(self):
+        timeline = MemoryPressureTimeline(np.array([10.0, 30.0, 30.0, 10.0]), 20.0)
+        assert timeline.total_excess == pytest.approx(20.0)
+        period = InactivePeriod(tensor_id=1, size_bytes=15, start_slot=0, end_slot=3)
+        assert timeline.eviction_benefit(period) == pytest.approx(20.0)
+
+    def test_benefit_capped_by_tensor_size(self):
+        timeline = MemoryPressureTimeline(np.array([10.0, 50.0, 10.0]), 20.0)
+        period = InactivePeriod(tensor_id=1, size_bytes=5, start_slot=0, end_slot=2)
+        assert timeline.eviction_benefit(period) == pytest.approx(5.0)
+
+    def test_apply_eviction_reduces_pressure(self):
+        timeline = MemoryPressureTimeline(np.array([10.0, 30.0, 30.0, 10.0]), 20.0)
+        period = InactivePeriod(tensor_id=1, size_bytes=15, start_slot=0, end_slot=3)
+        timeline.apply_eviction(period, np.array([1, 2]))
+        assert timeline.peak == pytest.approx(15.0)
+        assert timeline.fits()
+
+    def test_double_eviction_detected(self):
+        timeline = MemoryPressureTimeline(np.array([10.0, 12.0]), 20.0)
+        period = InactivePeriod(tensor_id=1, size_bytes=11, start_slot=0, end_slot=2)
+        timeline.apply_eviction(period, np.array([1]))
+        with pytest.raises(SchedulingError):
+            timeline.apply_eviction(period, np.array([1]))
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(SchedulingError):
+            MemoryPressureTimeline(np.array([1.0]), 0.0)
+
+    def test_period_slot_indices_wraparound(self):
+        period = InactivePeriod(tensor_id=0, size_bytes=8, start_slot=7, end_slot=12, wraps_around=True)
+        assert list(period_slot_indices(period, 10)) == [8, 9, 0, 1]
+
+
+class TestChannelSchedule:
+    def _schedule(self, slots: int = 10) -> ChannelSchedule:
+        return ChannelSchedule(np.full(slots, 0.1), paper_config())
+
+    def test_transfer_time_ssd_slower_than_host(self):
+        schedule = self._schedule()
+        ssd = schedule.transfer_time(1e9, to_ssd=True, direction=Direction.OUT)
+        host = schedule.transfer_time(1e9, to_ssd=False, direction=Direction.OUT)
+        assert ssd > host
+
+    def test_probe_forward_finds_completion(self):
+        schedule = self._schedule()
+        config = paper_config()
+        size = config.ssd.write_bandwidth * 0.25  # needs ~2.5 slots of 0.1 s
+        assert schedule.probe_forward(size, 0, 10, to_ssd=True) == 2
+
+    def test_probe_forward_detects_congestion(self):
+        schedule = self._schedule(slots=3)
+        config = paper_config()
+        size = config.ssd.write_bandwidth * 10
+        assert schedule.probe_forward(size, 0, 3, to_ssd=True) is None
+
+    def test_reserve_consumes_capacity(self):
+        schedule = self._schedule()
+        config = paper_config()
+        size = config.ssd.write_bandwidth * 0.1
+        first = schedule.probe_forward(size, 0, 10, to_ssd=True)
+        schedule.reserve(size, 0, to_ssd=True, direction=Direction.OUT)
+        second = schedule.probe_forward(size, 0, 10, to_ssd=True)
+        assert second > first
+
+    def test_probe_backward_symmetry(self):
+        schedule = self._schedule()
+        config = paper_config()
+        size = config.ssd.read_bandwidth * 0.15
+        start = schedule.probe_backward(size, 10, 0, to_ssd=True)
+        assert start == 8
+
+    def test_pcie_shared_between_ssd_and_host(self):
+        schedule = self._schedule()
+        config = paper_config()
+        # Saturate pcie_out with host traffic, then SSD writes can't be placed.
+        schedule.reserve(config.interconnect.bandwidth * 1.0, 0, to_ssd=False, direction=Direction.OUT)
+        remaining = schedule.available_bytes(True, Direction.OUT, np.arange(10)).sum()
+        assert remaining == pytest.approx(0.0, abs=1e-3)
+
+    def test_invalid_durations_rejected(self):
+        with pytest.raises(SchedulingError):
+            ChannelSchedule(np.array([0.0, 0.1]), paper_config())
+        with pytest.raises(SchedulingError):
+            ChannelSchedule(np.array([]), paper_config())
+
+
+class TestPlanStructures:
+    def test_eviction_validation(self):
+        period = InactivePeriod(tensor_id=1, size_bytes=10, start_slot=0, end_slot=4)
+        with pytest.raises(SchedulingError):
+            PlannedEviction(1, 0, MigrationDestination.SSD, 0, 1, period)
+        with pytest.raises(SchedulingError):
+            PlannedEviction(1, 10, MigrationDestination.SSD, 3, 1, period)
+
+    def test_prefetch_validation(self):
+        period = InactivePeriod(tensor_id=1, size_bytes=10, start_slot=0, end_slot=4)
+        with pytest.raises(SchedulingError):
+            PlannedPrefetch(1, 10, MigrationDestination.SSD, issue_slot=3,
+                            latest_safe_slot=2, deadline_slot=4, period=period)
+
+    def test_plan_grouping_and_stats(self):
+        period = InactivePeriod(tensor_id=1, size_bytes=10, start_slot=0, end_slot=4)
+        eviction = PlannedEviction(1, 10, MigrationDestination.HOST, 0, 1, period)
+        prefetch = PlannedPrefetch(1, 10, MigrationDestination.HOST, 3, 3, 4, period)
+        plan = MigrationPlan(gpu_capacity_bytes=100, num_slots=5,
+                             evictions=[eviction], prefetches=[prefetch])
+        assert plan.evictions_by_slot() == {0: [eviction]}
+        assert plan.prefetches_by_slot() == {3: [prefetch]}
+        assert plan.bytes_to(MigrationDestination.HOST) == 10
+        assert plan.bytes_to(MigrationDestination.SSD) == 0
+        assert plan.eviction_for_period(period) is eviction
+
+
+class TestEvictionScheduler:
+    def _plan_for(self, report, config, **policy_kwargs):
+        scheduler = SmartEvictionScheduler(report, config, EvictionPolicyConfig(**policy_kwargs))
+        return scheduler, scheduler.schedule()
+
+    def test_no_evictions_when_workload_fits(self, tiny_training, tiny_report, paper_cfg):
+        _, plan = self._plan_for(tiny_report, paper_cfg)
+        assert plan.num_evictions == 0
+        assert plan.fits_in_gpu
+
+    def test_evictions_appear_under_pressure(self, tiny_training, tiny_report):
+        config = _small_system(int(tiny_report.peak_pressure * 0.5))
+        scheduler, plan = self._plan_for(tiny_report, config)
+        assert plan.num_evictions > 0
+        assert plan.planned_peak_pressure < tiny_report.peak_pressure
+
+    def test_every_eviction_has_matching_prefetch(self, tiny_report):
+        config = _small_system(int(tiny_report.peak_pressure * 0.5))
+        _, plan = self._plan_for(tiny_report, config)
+        assert plan.num_prefetches == plan.num_evictions
+        for eviction, prefetch in zip(plan.evictions, plan.prefetches_sorted()
+                                      if hasattr(plan, "prefetches_sorted") else plan.prefetches):
+            assert prefetch.size_bytes > 0
+
+    def test_prefetch_never_before_eviction_completes(self, tiny_report):
+        config = _small_system(int(tiny_report.peak_pressure * 0.5))
+        _, plan = self._plan_for(tiny_report, config)
+        prefetch_by_period = {id(p.period): p for p in plan.prefetches}
+        for eviction in plan.evictions:
+            prefetch = prefetch_by_period[id(eviction.period)]
+            if not eviction.period.wraps_around:
+                assert prefetch.issue_slot > eviction.expected_completion_slot
+
+    def test_gds_variant_never_uses_host(self, tiny_report):
+        config = _small_system(int(tiny_report.peak_pressure * 0.5))
+        _, plan = self._plan_for(tiny_report, config, allow_host=False)
+        assert plan.bytes_to(MigrationDestination.HOST) == 0
+
+    def test_planned_peak_never_increases(self, tiny_report):
+        config = _small_system(int(tiny_report.peak_pressure * 0.5))
+        scheduler, plan = self._plan_for(tiny_report, config)
+        assert plan.planned_peak_pressure <= tiny_report.peak_pressure + 1e-6
+
+    def test_alternative_rankings_still_reduce_pressure(self, tiny_report):
+        config = _small_system(int(tiny_report.peak_pressure * 0.5))
+        for ranking in ("largest_tensor", "longest_period"):
+            _, plan = self._plan_for(tiny_report, config, ranking=ranking)
+            assert plan.planned_peak_pressure <= tiny_report.peak_pressure
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(SchedulingError):
+            EvictionPolicyConfig(allow_ssd=False, allow_host=False)
+        with pytest.raises(SchedulingError):
+            EvictionPolicyConfig(ranking="fifo")
+        with pytest.raises(SchedulingError):
+            EvictionPolicyConfig(ssd_saturation_threshold=0.0)
+
+    def test_benefit_cost_beats_naive_rankings(self, bert_ci_workload):
+        """The paper's benefit/cost ranking should clear at least as much excess."""
+        report = bert_ci_workload.report
+        config = bert_ci_workload.config
+        peaks = {}
+        for ranking in ("benefit_cost", "largest_tensor", "longest_period"):
+            scheduler = SmartEvictionScheduler(report, config, EvictionPolicyConfig(ranking=ranking))
+            peaks[ranking] = scheduler.schedule().planned_peak_pressure
+        assert peaks["benefit_cost"] <= min(peaks.values()) * 1.05
+
+
+class TestSmartPrefetcher:
+    def test_prefetches_move_earlier_not_later(self, bert_ci_workload):
+        report = bert_ci_workload.report
+        config = bert_ci_workload.config
+        scheduler = SmartEvictionScheduler(report, config)
+        plan = scheduler.schedule()
+        latest = {id(p.period): p.issue_slot for p in plan.prefetches}
+        optimized = SmartPrefetcher(scheduler.pressure).optimize(plan)
+        assert optimized.num_prefetches == plan.num_prefetches
+        for prefetch in optimized.prefetches:
+            assert prefetch.issue_slot <= latest[id(prefetch.period)]
+            assert prefetch.issue_slot <= prefetch.latest_safe_slot
+
+    def test_eager_prefetch_respects_capacity(self, bert_ci_workload):
+        report = bert_ci_workload.report
+        config = bert_ci_workload.config
+        scheduler = SmartEvictionScheduler(report, config)
+        plan = scheduler.schedule()
+        before_peak = scheduler.pressure.peak
+        optimized = SmartPrefetcher(scheduler.pressure).optimize(plan)
+        # Eager prefetching may fill spare headroom but must not create new
+        # overflow beyond what the eviction pass already left.
+        assert optimized.planned_peak_pressure <= max(before_peak, config.gpu.memory_bytes) + 1e-6
+
+
+class TestMigrationPlanner:
+    def test_planner_end_to_end(self, bert_ci_workload):
+        planner = MigrationPlanner(bert_ci_workload.config)
+        result = planner.plan_from_report(bert_ci_workload.report)
+        assert result.baseline_peak_pressure >= result.planned_peak_pressure
+        assert result.plan.num_slots == bert_ci_workload.graph.num_kernels
+
+    def test_eager_prefetch_toggle(self, bert_ci_workload):
+        eager = MigrationPlanner(bert_ci_workload.config, eager_prefetch=True)
+        lazy = MigrationPlanner(bert_ci_workload.config, eager_prefetch=False)
+        eager_plan = eager.plan_from_report(bert_ci_workload.report).plan
+        lazy_plan = lazy.plan_from_report(bert_ci_workload.report).plan
+        eager_issue = sum(p.issue_slot for p in eager_plan.prefetches)
+        lazy_issue = sum(p.issue_slot for p in lazy_plan.prefetches)
+        assert eager_issue <= lazy_issue
+
+    def test_instrumented_program_contains_plan(self, bert_ci_workload):
+        planner = MigrationPlanner(bert_ci_workload.config)
+        result = planner.plan_from_report(bert_ci_workload.report)
+        program = instrument_program(
+            bert_ci_workload.graph, bert_ci_workload.report, result.plan
+        )
+        text = program.text()
+        assert "g10_alloc" in text and "g10_free" in text
+        if result.plan.num_evictions:
+            assert "g10_pre_evict" in text
+            assert "g10_prefetch" in text
+        assert program.num_instructions >= result.plan.num_evictions
+
+
+class TestSchedulerProperties:
+    @given(
+        capacity_fraction=st.floats(min_value=0.3, max_value=1.2),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_plan_invariants_across_capacities(self, capacity_fraction, tiny_report):
+        """For any GPU capacity, the plan never increases pressure and pairs
+        every eviction with a prefetch of the same tensor."""
+        capacity = max(int(tiny_report.peak_pressure * capacity_fraction), 4 * MB)
+        config = _small_system(capacity)
+        scheduler = SmartEvictionScheduler(tiny_report, config)
+        plan = scheduler.schedule()
+        assert plan.planned_peak_pressure <= tiny_report.peak_pressure + 1e-6
+        evicted = sorted(e.tensor_id for e in plan.evictions)
+        prefetched = sorted(p.tensor_id for p in plan.prefetches)
+        assert evicted == prefetched

@@ -1,0 +1,254 @@
+"""Tests for the unified memory substrate: address space, page table, pools, engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import MB, UVMConfig, paper_config
+from repro.errors import AllocationError, SimulationError, TranslationError
+from repro.ssd import SSDDevice
+from repro.uvm import (
+    MemoryLocation,
+    MemoryPool,
+    MigrationEngine,
+    MigrationKind,
+    MigrationRequest,
+    PageFaultModel,
+    TLB,
+    TransferSet,
+    UnifiedAddressSpace,
+    UnifiedPageTable,
+)
+
+
+class TestAddressSpace:
+    def test_allocation_is_page_aligned_and_disjoint(self):
+        space = UnifiedAddressSpace()
+        a = space.allocate(1, 10_000)
+        b = space.allocate(2, 5_000)
+        assert a.start % 4096 == 0 and b.start % 4096 == 0
+        assert a.end <= b.start
+
+    def test_allocation_is_idempotent(self):
+        space = UnifiedAddressSpace()
+        assert space.allocate(1, 4096) == space.allocate(1, 4096)
+
+    def test_reverse_lookup(self):
+        space = UnifiedAddressSpace()
+        vrange = space.allocate(7, 20_000)
+        assert space.tensor_at(vrange.start) == 7
+        assert space.tensor_at(vrange.end - 1) == 7
+        with pytest.raises(TranslationError):
+            space.tensor_at(vrange.end + 4096 * 10)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(AllocationError):
+            UnifiedAddressSpace().allocate(1, 0)
+
+    @given(sizes=st.lists(st.integers(min_value=1, max_value=10 * MB), min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_ranges_never_overlap(self, sizes):
+        space = UnifiedAddressSpace()
+        ranges = [space.allocate(i, size) for i, size in enumerate(sizes)]
+        for first, second in zip(ranges, ranges[1:]):
+            assert first.end <= second.start
+        assert space.total_mapped_bytes >= sum(sizes)
+
+
+class TestPageTable:
+    def _table(self) -> UnifiedPageTable:
+        return UnifiedPageTable(UnifiedAddressSpace())
+
+    def test_place_and_translate(self):
+        table = self._table()
+        vrange = table.register(1, 3 * 4096)
+        table.place(1, MemoryLocation.GPU)
+        entry = table.translate(vrange.start + 4096)
+        assert entry.location is MemoryLocation.GPU
+        assert entry.is_resident_on_gpu
+
+    def test_unmapped_translation_rejected(self):
+        table = self._table()
+        vrange = table.register(1, 4096)
+        with pytest.raises(TranslationError):
+            table.translate(vrange.start)
+
+    def test_location_transitions(self):
+        table = self._table()
+        table.register(1, 4096)
+        for location in (MemoryLocation.GPU, MemoryLocation.HOST, MemoryLocation.FLASH):
+            table.place(1, location)
+            assert table.location_of(1) is location
+        assert not table.is_resident(1)
+
+    def test_pte_update_count_tracks_pages(self):
+        table = self._table()
+        table.register(1, 10 * 4096)
+        updated = table.place(1, MemoryLocation.GPU)
+        assert updated == 10
+        assert table.pte_updates == 10
+
+    def test_gc_remap_requires_flash_residency(self):
+        table = self._table()
+        table.register(1, 4096)
+        table.place(1, MemoryLocation.GPU)
+        with pytest.raises(TranslationError):
+            table.remap_flash_pages(1, new_base=100)
+        table.place(1, MemoryLocation.FLASH)
+        assert table.remap_flash_pages(1, new_base=100) == 1
+
+    def test_ssd_alias_is_flash(self):
+        assert MemoryLocation.SSD is MemoryLocation.FLASH
+
+    def test_unregistered_tensor_rejected(self):
+        with pytest.raises(TranslationError):
+            self._table().place(5, MemoryLocation.GPU)
+
+
+class TestTLB:
+    def test_hit_after_miss(self):
+        tlb = TLB(entries=4)
+        assert tlb.access(1) is False
+        assert tlb.access(1) is True
+        assert tlb.hits == 1 and tlb.misses == 1
+
+    def test_lru_eviction(self):
+        tlb = TLB(entries=2)
+        tlb.access(1)
+        tlb.access(2)
+        tlb.access(3)  # evicts 1
+        assert tlb.access(1) is False
+
+    def test_invalidate_and_flush(self):
+        tlb = TLB(entries=4)
+        tlb.access(1)
+        tlb.invalidate(1)
+        assert tlb.access(1) is False
+        tlb.flush()
+        assert tlb.access(1) is False
+        assert 0.0 <= tlb.hit_rate <= 1.0
+
+
+class TestMemoryPool:
+    def test_allocation_rounds_to_pages(self):
+        pool = MemoryPool("gpu", capacity_bytes=3 * 4096)
+        pool.allocate(1, 5000)
+        assert pool.used_bytes == 2 * 4096
+
+    def test_capacity_enforced(self):
+        pool = MemoryPool("gpu", capacity_bytes=4096)
+        pool.allocate(1, 4096)
+        with pytest.raises(AllocationError):
+            pool.allocate(2, 1)
+
+    def test_free_returns_bytes(self):
+        pool = MemoryPool("gpu", capacity_bytes=8192)
+        pool.allocate(1, 4096)
+        assert pool.free(1) == 4096
+        assert pool.free(1) == 0
+
+    def test_peak_tracking(self):
+        pool = MemoryPool("gpu", capacity_bytes=8192)
+        pool.allocate(1, 4096)
+        pool.allocate(2, 4096)
+        pool.free(1)
+        assert pool.peak_used_bytes == 8192
+
+    def test_double_allocation_is_noop(self):
+        pool = MemoryPool("gpu", capacity_bytes=8192)
+        pool.allocate(1, 4096)
+        pool.allocate(1, 4096)
+        assert pool.used_bytes == 4096
+
+
+class TestFaultModel:
+    def test_fault_batches(self):
+        model = PageFaultModel(UVMConfig())
+        assert model.fault_batches(0) == 0
+        assert model.fault_batches(1) == 1
+        assert model.fault_batches(4 * 2 * 1024 * 1024) == 4
+
+    def test_fault_overhead_uses_table2_latency(self):
+        config = UVMConfig()
+        model = PageFaultModel(config)
+        assert model.fault_overhead(config.fault_batch_bytes * 3) == pytest.approx(
+            3 * config.fault_latency
+        )
+
+    def test_translation_overhead(self):
+        model = PageFaultModel(UVMConfig())
+        assert model.translation_overhead(10, 4) == pytest.approx(4 * UVMConfig().page_walk_latency)
+
+
+class TestMigrationEngine:
+    def _engine(self, overhead: float = 0.0) -> MigrationEngine:
+        config = paper_config()
+        return MigrationEngine(config, SSDDevice(config.ssd), per_request_overhead=overhead)
+
+    def test_host_eviction_timing(self):
+        engine = self._engine()
+        request = MigrationRequest(1, int(1e9), MemoryLocation.GPU, MemoryLocation.HOST, MigrationKind.EVICTION)
+        completion = engine.submit(request, now=0.0)
+        expected = 1e9 / paper_config().interconnect.bandwidth
+        assert completion == pytest.approx(expected, rel=0.05)
+
+    def test_flash_eviction_limited_by_ssd_bandwidth(self):
+        engine = self._engine()
+        request = MigrationRequest(1, int(1e9), MemoryLocation.GPU, MemoryLocation.FLASH, MigrationKind.EVICTION)
+        completion = engine.submit(request, now=0.0)
+        assert completion == pytest.approx(1e9 / paper_config().ssd.write_bandwidth, rel=0.05)
+
+    def test_fifo_queueing_per_channel(self):
+        engine = self._engine()
+        request = MigrationRequest(1, int(1e9), MemoryLocation.GPU, MemoryLocation.HOST, MigrationKind.EVICTION)
+        first = engine.submit(request, now=0.0)
+        second = engine.submit(
+            MigrationRequest(2, int(1e9), MemoryLocation.GPU, MemoryLocation.HOST, MigrationKind.EVICTION),
+            now=0.0,
+        )
+        assert second > first
+
+    def test_opposite_directions_do_not_queue_on_each_other(self):
+        engine = self._engine()
+        out = engine.submit(
+            MigrationRequest(1, int(1e9), MemoryLocation.GPU, MemoryLocation.HOST, MigrationKind.EVICTION), 0.0
+        )
+        inbound = engine.submit(
+            MigrationRequest(2, int(1e9), MemoryLocation.HOST, MemoryLocation.GPU, MigrationKind.PREFETCH), 0.0
+        )
+        assert inbound == pytest.approx(out, rel=0.05)
+
+    def test_traffic_accounting(self):
+        engine = self._engine()
+        engine.submit(MigrationRequest(1, 1000, MemoryLocation.GPU, MemoryLocation.FLASH, MigrationKind.EVICTION), 0.0)
+        engine.submit(MigrationRequest(1, 1000, MemoryLocation.FLASH, MemoryLocation.GPU, MigrationKind.PREFETCH), 0.0)
+        engine.submit(MigrationRequest(2, 500, MemoryLocation.GPU, MemoryLocation.HOST, MigrationKind.EVICTION), 0.0)
+        traffic = engine.traffic
+        assert traffic.gpu_ssd_bytes == 2000
+        assert traffic.gpu_host_bytes == 500
+        assert traffic.ssd_write_bytes == 1000 and traffic.ssd_read_bytes == 1000
+        assert traffic.eviction_count == 2 and traffic.prefetch_count == 1
+
+    def test_per_request_overhead_added(self):
+        fast = self._engine(overhead=0.0)
+        slow = self._engine(overhead=1e-3)
+        request = MigrationRequest(1, 1000, MemoryLocation.GPU, MemoryLocation.HOST, MigrationKind.EVICTION)
+        assert slow.submit(request, 0.0) > fast.submit(request, 0.0)
+
+    def test_transfer_set_priorities(self):
+        batch = TransferSet(
+            requests=[
+                MigrationRequest(1, 100, MemoryLocation.GPU, MemoryLocation.HOST, MigrationKind.EVICTION),
+                MigrationRequest(2, 100, MemoryLocation.HOST, MemoryLocation.GPU, MigrationKind.FAULT),
+                MigrationRequest(3, 100, MemoryLocation.HOST, MemoryLocation.GPU, MigrationKind.PREFETCH),
+            ]
+        )
+        kinds = [r.kind for r in batch.ordered()]
+        assert kinds == [MigrationKind.FAULT, MigrationKind.PREFETCH, MigrationKind.EVICTION]
+        assert batch.total_bytes == 300
+
+    def test_invalid_request_rejected(self):
+        with pytest.raises(SimulationError):
+            MigrationRequest(1, 0, MemoryLocation.GPU, MemoryLocation.HOST, MigrationKind.EVICTION)
+        with pytest.raises(SimulationError):
+            MigrationRequest(1, 10, MemoryLocation.GPU, MemoryLocation.GPU, MigrationKind.EVICTION)

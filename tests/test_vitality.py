@@ -1,0 +1,203 @@
+"""Tests for the tensor vitality analyzer (§4.2) and characterization (§3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import characterize_workload, memory_consumption_profile
+from repro.core.vitality import InactivePeriod, TensorVitalityAnalyzer, analyze_vitality
+from repro.errors import SchedulingError
+from repro.graph import expand_training
+from repro.profiling import profile_training_graph
+from repro.config import paper_config
+
+from conftest import build_tiny_mlp
+
+
+class TestAnalyzerBasics:
+    def test_requires_profiled_graph(self):
+        training = expand_training(build_tiny_mlp())
+        with pytest.raises(SchedulingError):
+            TensorVitalityAnalyzer(training)
+
+    def test_every_used_tensor_has_a_usage(self, tiny_training, tiny_report):
+        used = {tid for k in tiny_training.kernels for tid in k.tensor_ids}
+        assert set(tiny_report.usages) == used
+
+    def test_use_slots_are_sorted_and_unique(self, tiny_report):
+        for usage in tiny_report.usages.values():
+            slots = list(usage.use_slots)
+            assert slots == sorted(set(slots))
+
+    def test_birth_not_after_death(self, tiny_report):
+        for usage in tiny_report.usages.values():
+            assert usage.birth_slot <= usage.death_slot
+
+    def test_globals_are_weights_and_state(self, tiny_training, tiny_report):
+        for usage in tiny_report.usages.values():
+            tensor = tiny_training.tensor(usage.tensor_id)
+            assert usage.is_global == tensor.is_global
+
+
+class TestInactivePeriods:
+    def test_period_boundaries_are_uses(self, tiny_report):
+        for period in tiny_report.periods:
+            if period.wraps_around:
+                continue
+            usage = tiny_report.usage(period.tensor_id)
+            assert period.start_slot in usage.use_slots
+            assert period.end_slot in usage.use_slots
+
+    def test_periods_have_gap(self, tiny_report):
+        for period in tiny_report.periods:
+            if not period.wraps_around:
+                assert period.end_slot - period.start_slot > 1
+
+    def test_global_tensors_get_wraparound_periods(self, tiny_training, tiny_report):
+        wrap_tensors = {p.tensor_id for p in tiny_report.periods if p.wraps_around}
+        global_ids = tiny_training.global_tensor_ids()
+        used_globals = global_ids & set(tiny_report.usages)
+        assert wrap_tensors <= used_globals
+        assert wrap_tensors  # weights do sit idle between iterations
+
+    def test_intermediates_have_no_wraparound(self, tiny_training, tiny_report):
+        for period in tiny_report.periods:
+            if period.wraps_around:
+                assert tiny_training.tensor(period.tensor_id).is_global
+
+    def test_forward_activations_have_long_periods(self, tiny_report):
+        """Activations saved for backward create the long inactive periods of O2."""
+        longest = max(tiny_report.period_duration(p) for p in tiny_report.periods)
+        total = tiny_report.slot_end_times[-1]
+        assert longest > 0.3 * total
+
+    def test_period_durations_are_nonnegative(self, tiny_report):
+        for period in tiny_report.periods:
+            assert tiny_report.period_duration(period) >= 0.0
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(SchedulingError):
+            InactivePeriod(tensor_id=0, size_bytes=16, start_slot=5, end_slot=5)
+        with pytest.raises(SchedulingError):
+            InactivePeriod(tensor_id=0, size_bytes=0, start_slot=1, end_slot=5)
+
+    def test_free_slot_count(self):
+        period = InactivePeriod(tensor_id=0, size_bytes=16, start_slot=2, end_slot=6)
+        assert period.num_free_slots == 3
+        assert list(period.free_slots) == [3, 4, 5]
+
+
+class TestPressureCurves:
+    def test_baseline_pressure_bounds(self, tiny_report):
+        assert tiny_report.peak_pressure <= tiny_report.graph.tensors.total_bytes
+        assert tiny_report.peak_pressure >= tiny_report.peak_active_bytes
+
+    def test_active_bytes_match_kernel_working_sets(self, tiny_training, tiny_report):
+        for kernel in tiny_training.kernels:
+            expected = sum(
+                tiny_training.tensor(tid).size_bytes for tid in kernel.tensor_ids
+            )
+            assert tiny_report.active_bytes[kernel.index] == pytest.approx(expected)
+
+    def test_pressure_never_below_active(self, tiny_report):
+        assert np.all(tiny_report.baseline_pressure + 1e-9 >= tiny_report.active_bytes)
+
+    def test_footprint_ratio(self, tiny_report):
+        ratio = tiny_report.memory_footprint_ratio(int(tiny_report.peak_pressure))
+        assert ratio == pytest.approx(1.0)
+        with pytest.raises(SchedulingError):
+            tiny_report.memory_footprint_ratio(0)
+
+    def test_analyze_vitality_helper(self, tiny_training):
+        assert analyze_vitality(tiny_training).num_slots == tiny_training.num_kernels
+
+
+class TestCharacterization:
+    """The §3 observations must hold for the synthetic workloads too."""
+
+    def test_o1_active_fraction_is_small(self, bert_ci_workload):
+        char = characterize_workload(bert_ci_workload.report)
+        assert char.mean_active_fraction < 0.10
+
+    def test_o2_many_long_inactive_periods(self, bert_ci_workload):
+        char = characterize_workload(bert_ci_workload.report)
+        ssd_latency = bert_ci_workload.config.ssd.read_latency
+        assert char.fraction_of_periods_longer_than(ssd_latency) > 0.5
+
+    def test_o3_majority_of_periods_hide_a_swap(self, bert_ci_workload):
+        char = characterize_workload(bert_ci_workload.report)
+        assert char.fraction_hideable(20e-6) > 0.6
+
+    def test_memory_profile_normalised_to_peak(self, bert_ci_workload):
+        total, active = memory_consumption_profile(bert_ci_workload.report)
+        assert total.max() == pytest.approx(1.0)
+        assert np.all(active <= total + 1e-9)
+
+    def test_scatter_shapes_match(self, resnet_ci_workload):
+        char = characterize_workload(resnet_ci_workload.report)
+        assert char.inactive_period_seconds.shape == char.inactive_period_bytes.shape
+        assert char.inactive_period_bytes.min() > 0
+
+
+@st.composite
+def _usage_patterns(draw):
+    """Random tensor-use patterns: (num_kernels, use slots per tensor)."""
+    num_kernels = draw(st.integers(min_value=3, max_value=40))
+    num_tensors = draw(st.integers(min_value=1, max_value=8))
+    uses = []
+    for _ in range(num_tensors):
+        slots = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=num_kernels - 1),
+                min_size=1,
+                max_size=6,
+                unique=True,
+            )
+        )
+        uses.append(sorted(slots))
+    return num_kernels, uses
+
+
+class TestVitalityProperties:
+    @given(_usage_patterns())
+    @settings(max_examples=60, deadline=None)
+    def test_periods_partition_gaps(self, pattern):
+        """For any use pattern, periods exactly cover the >1-slot gaps between uses."""
+        from repro.graph.kernel import Kernel, KernelPhase
+        from repro.graph.tensor import TensorKind, TensorSet
+        from repro.graph.training import TrainingGraph
+
+        num_kernels, uses = pattern
+        tensors = TensorSet()
+        ids = [tensors.add(f"t{i}", (1024,), TensorKind.ACTIVATION).tensor_id for i in range(len(uses))]
+        touched_by_slot = {s: [] for s in range(num_kernels)}
+        for tid, slots in zip(ids, uses):
+            for s in slots:
+                touched_by_slot[s].append(tid)
+        anchor = tensors.add("anchor", (4,), TensorKind.ACTIVATION)
+        kernels = [
+            Kernel(
+                index=s,
+                name=f"k{s}",
+                phase=KernelPhase.FORWARD,
+                op_id=s,
+                input_ids=tuple(touched_by_slot[s]),
+                output_ids=(anchor.tensor_id,) if not touched_by_slot[s] else tuple(touched_by_slot[s]),
+                duration=1e-3,
+            )
+            for s in range(num_kernels)
+        ]
+        graph = TrainingGraph(name="prop", batch_size=1, tensors=tensors, kernels=kernels)
+        report = TensorVitalityAnalyzer(graph).analyze()
+
+        for tid, slots in zip(ids, uses):
+            expected_gaps = [
+                (a, b) for a, b in zip(slots, slots[1:]) if b - a > 1
+            ]
+            got = [
+                (p.start_slot, p.end_slot)
+                for p in report.periods_for(tid)
+                if not p.wraps_around
+            ]
+            assert sorted(got) == sorted(expected_gaps)
