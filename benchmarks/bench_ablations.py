@@ -9,7 +9,7 @@ from repro.baselines import G10Policy, G10Variant
 from repro.experiments.harness import build_workload
 from repro.sim import ExecutionSimulator
 
-from conftest import BENCH_SCALE, run_once
+from bench_utils import BENCH_SCALE, run_once
 
 
 def _simulate(workload, policy):

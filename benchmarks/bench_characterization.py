@@ -8,7 +8,7 @@ from repro.experiments import (
     figure4_size_vs_inactive,
 )
 
-from conftest import run_once
+from bench_utils import run_once
 
 
 def test_fig02_memory_consumption(benchmark, bench_scale):

@@ -2,7 +2,7 @@
 
 from repro.experiments import figure11_end_to_end, format_table
 
-from conftest import run_once
+from bench_utils import run_once
 
 
 def test_fig11_end_to_end(benchmark, bench_scale):

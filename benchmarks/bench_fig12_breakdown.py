@@ -2,7 +2,7 @@
 
 from repro.experiments import figure12_breakdown, format_table
 
-from conftest import run_once
+from bench_utils import run_once
 
 
 def test_fig12_breakdown(benchmark, bench_scale):

@@ -4,7 +4,7 @@ import numpy as np
 
 from repro.experiments import figure13_kernel_slowdown
 
-from conftest import run_once
+from bench_utils import run_once
 
 
 def test_fig13_kernel_slowdown(benchmark, bench_scale):

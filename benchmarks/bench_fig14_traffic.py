@@ -2,7 +2,7 @@
 
 from repro.experiments import figure14_traffic, format_table
 
-from conftest import run_once
+from bench_utils import run_once
 
 
 def test_fig14_traffic(benchmark, bench_scale):

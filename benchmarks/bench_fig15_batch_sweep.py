@@ -2,7 +2,7 @@
 
 from repro.experiments import figure15_batch_sweep
 
-from conftest import run_once
+from bench_utils import run_once
 
 
 def test_fig15_batch_sweep(benchmark, bench_scale):

@@ -2,7 +2,7 @@
 
 from repro.experiments import figure16_host_memory
 
-from conftest import run_once
+from bench_utils import run_once
 
 
 def test_fig16_host_memory(benchmark, bench_scale):

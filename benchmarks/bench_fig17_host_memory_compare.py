@@ -2,7 +2,7 @@
 
 from repro.experiments import figure17_host_memory_compare
 
-from conftest import run_once
+from bench_utils import run_once
 
 
 def test_fig17_host_memory_compare(benchmark, bench_scale):

@@ -2,7 +2,7 @@
 
 from repro.experiments import figure18_ssd_bandwidth
 
-from conftest import run_once
+from bench_utils import run_once
 
 
 def test_fig18_ssd_bandwidth(benchmark, bench_scale):

@@ -2,7 +2,7 @@
 
 from repro.experiments import figure19_profiling_error
 
-from conftest import run_once
+from bench_utils import run_once
 
 
 def test_fig19_profiling_error(benchmark, bench_scale):

@@ -2,7 +2,7 @@
 
 from repro.experiments import format_table, section77_ssd_lifetime
 
-from conftest import run_once
+from bench_utils import run_once
 
 
 def test_sec77_ssd_lifetime(benchmark, bench_scale):

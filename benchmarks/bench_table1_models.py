@@ -2,7 +2,7 @@
 
 from repro.experiments import format_table, table1_models
 
-from conftest import run_once
+from bench_utils import run_once
 
 
 def test_table1_models(benchmark, bench_scale):

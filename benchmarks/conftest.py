@@ -1,25 +1,12 @@
-"""Shared helpers for the per-figure benchmark harness.
-
-Every benchmark runs its experiment once (``rounds=1``) at CI scale by default
-so the whole suite finishes in a few minutes; set ``REPRO_BENCH_SCALE=paper``
-to regenerate the figures on the full paper-scale workloads instead.
-"""
+"""Fixtures for the per-figure benchmark harness (helpers live in bench_utils)."""
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
-#: Workload scale used by every benchmark ("ci" or "paper").
-BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "ci")
+from bench_utils import BENCH_SCALE
 
 
 @pytest.fixture(scope="session")
 def bench_scale() -> str:
     return BENCH_SCALE
-
-
-def run_once(benchmark, func, *args, **kwargs):
-    """Run an experiment exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

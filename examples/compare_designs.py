@@ -3,26 +3,36 @@
 
 Runs the Figure 11 experiment (plus the Figure 14 traffic breakdown and the
 §7.7 SSD-lifetime estimate for G10) at CI scale and prints the result tables.
-Pass ``--paper`` to run the full paper-scale workloads instead (a few minutes).
+Pass ``--paper`` to run the full paper-scale workloads instead (a few
+minutes), ``--jobs N`` to fan the sweep out over worker processes, and
+``--cache`` to reuse previously computed cells from ``.repro_cache/``.
 
-Run with:  python examples/compare_designs.py [--paper]
+Run with:  python examples/compare_designs.py [--paper] [--jobs N] [--cache]
 """
 
 import argparse
 
 from repro.analysis import estimate_ssd_lifetime, traffic_breakdown
-from repro.experiments import figure11_end_to_end, format_table
-from repro.experiments.harness import build_workload, run_policy
+from repro.experiments import (
+    ResultCache,
+    SweepCell,
+    SweepRunner,
+    figure11_end_to_end,
+    format_table,
+)
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--paper", action="store_true", help="run the full paper-scale workloads")
+    parser.add_argument("--jobs", type=int, default=None, help="worker processes for the sweep")
+    parser.add_argument("--cache", action="store_true", help="persist results under .repro_cache/")
     args = parser.parse_args()
     scale = "paper" if args.paper else "ci"
+    runner = SweepRunner(jobs=args.jobs, cache=ResultCache() if args.cache else None)
 
     print(f"Running the end-to-end comparison at {scale} scale...\n")
-    results = figure11_end_to_end(scale=scale)
+    results = figure11_end_to_end(scale=scale, runner=runner)
 
     rows = []
     for model, values in results.items():
@@ -35,10 +45,10 @@ def main() -> None:
     print("\nMigration traffic and SSD lifetime under full G10:")
     lifetime_rows = []
     for model in results:
-        workload = build_workload(model, scale=scale)
-        run = run_policy(workload, "g10")
+        out = runner.run_one(SweepCell(model=model, policy="g10", scale=scale))
+        run = out.result
         breakdown = traffic_breakdown(run)
-        estimate = estimate_ssd_lifetime(run, workload.config.ssd)
+        estimate = estimate_ssd_lifetime(run, out.cell.resolved().config().ssd)
         lifetime_rows.append(
             {
                 "model": model,

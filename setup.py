@@ -1,3 +1,25 @@
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+# Single source of truth for the version: repro.__version__ (which also keys
+# the on-disk result cache).
+VERSION = re.search(
+    r'^__version__ = "([^"]+)"',
+    Path("src/repro/__init__.py").read_text(encoding="utf-8"),
+    re.MULTILINE,
+).group(1)
+
+setup(
+    name="repro-g10",
+    version=VERSION,
+    description=(
+        "From-scratch reproduction of G10 (MICRO 2023): a unified GPU memory "
+        "and storage architecture with smart tensor migration"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

@@ -28,7 +28,16 @@ from .config import (
     paper_config,
 )
 from .core import MigrationPlanner, TensorVitalityAnalyzer
-from .experiments import build_workload, run_policies, run_policy
+from .experiments import (
+    ConfigPatch,
+    ResultCache,
+    SweepCell,
+    SweepRunner,
+    SweepSpec,
+    build_workload,
+    run_policies,
+    run_policy,
+)
 from .graph import DataflowGraph, TrainingGraph, expand_training
 from .models import available_models, build_model
 from .profiling import profile_training_graph
@@ -60,5 +69,10 @@ __all__ = [
     "build_workload",
     "run_policy",
     "run_policies",
+    "ConfigPatch",
+    "ResultCache",
+    "SweepCell",
+    "SweepRunner",
+    "SweepSpec",
     "__version__",
 ]

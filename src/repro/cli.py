@@ -1,0 +1,269 @@
+"""``python -m repro`` — reproduce the paper's figures and tables from the shell.
+
+Subcommands:
+
+* ``run``    — simulate one (model, policy) cell and print its summary;
+* ``figure`` — reproduce a figure (2-4, 11-19), a table (table1/table2) or the
+  §7.7 lifetime study, optionally writing a JSON artifact;
+* ``sweep``  — run a custom (models x policies x batches) grid;
+* ``cache``  — inspect or clear the on-disk result cache.
+
+Every experiment honours ``--jobs`` (process-parallel fan-out) and the result
+cache under ``--cache-dir`` (default ``.repro_cache/``, or ``$REPRO_CACHE_DIR``);
+re-running any command is a cache hit. ``--no-cache`` forces re-execution.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .experiments import (
+    ConfigPatch,
+    ResultCache,
+    SweepCell,
+    SweepRunner,
+    SweepSpec,
+    figure2_memory_consumption,
+    figure3_inactive_periods,
+    figure4_size_vs_inactive,
+    figure11_end_to_end,
+    figure12_breakdown,
+    figure13_kernel_slowdown,
+    figure14_traffic,
+    figure15_batch_sweep,
+    figure16_host_memory,
+    figure17_host_memory_compare,
+    figure18_ssd_bandwidth,
+    figure19_profiling_error,
+    format_table,
+    section77_ssd_lifetime,
+    table1_models,
+    table2_configuration,
+)
+from .config import GB
+from .errors import ReproError
+
+#: Experiment id -> (callable, accepts a ``models`` keyword).
+FIGURES: dict[str, tuple[Callable, bool]] = {
+    "2": (figure2_memory_consumption, False),
+    "3": (figure3_inactive_periods, False),
+    "4": (figure4_size_vs_inactive, False),
+    "11": (figure11_end_to_end, True),
+    "12": (figure12_breakdown, True),
+    "13": (figure13_kernel_slowdown, True),
+    "14": (figure14_traffic, True),
+    "15": (figure15_batch_sweep, True),
+    "16": (figure16_host_memory, True),
+    "17": (figure17_host_memory_compare, False),
+    "18": (figure18_ssd_bandwidth, True),
+    "19": (figure19_profiling_error, True),
+    "77": (section77_ssd_lifetime, True),
+    "lifetime": (section77_ssd_lifetime, True),
+    "table1": (table1_models, False),
+}
+
+
+def _jsonify(obj):
+    """Recursively convert numpy arrays/scalars so ``json.dump`` accepts them."""
+    if isinstance(obj, dict):
+        return {str(key): _jsonify(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonify(value) for value in obj]
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, np.generic):
+        return obj.item()
+    return obj
+
+
+def _csv(text: str) -> list[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _make_runner(args: argparse.Namespace) -> SweepRunner:
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    return SweepRunner(jobs=args.jobs, cache=cache)
+
+
+def _emit(args: argparse.Namespace, results, as_table: bool = False) -> None:
+    payload = _jsonify(results)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.output}")
+    elif as_table:
+        print(format_table(results))
+    else:
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        print()
+
+
+def _report_stats(label: str, runner: SweepRunner, elapsed: float) -> None:
+    stats = runner.last_stats
+    print(
+        f"{label}: {stats['cells']} cells "
+        f"({stats['cache_hits']} cached, {stats['executed']} executed), "
+        f"jobs={runner.jobs or 1}, {elapsed:.2f}s",
+        file=sys.stderr,
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    runner = _make_runner(args)
+    cell = SweepCell(
+        model=args.model,
+        policy=args.policy,
+        batch_size=args.batch,
+        scale=args.scale,
+        patch=ConfigPatch(
+            host_memory_bytes=None if args.host_memory_gb is None else int(args.host_memory_gb * GB),
+            ssd_read_bandwidth=None if args.ssd_bandwidth_gbs is None else args.ssd_bandwidth_gbs * GB,
+        ),
+        profiling_error=args.error,
+        seed=args.seed,
+    )
+    start = time.monotonic()
+    out = runner.run_one(cell)
+    _report_stats(f"run {args.model}/{args.policy}", runner, time.monotonic() - start)
+    result = out.result
+    print(format_table([result.summary()]))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump({"cell": cell.to_dict(), "result": result.to_dict()}, fh, indent=2)
+        print(f"wrote {args.output}")
+    return 1 if result.failed else 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    if args.id == "table2":
+        _emit(args, [{"parameter": k, "value": v} for k, v in table2_configuration().items()],
+              as_table=True)
+        return 0
+    func, supports_models = FIGURES[args.id]
+    runner = _make_runner(args)
+    kwargs = {"scale": args.scale, "runner": runner}
+    if args.models:
+        if not supports_models:
+            print(f"figure {args.id} has a fixed workload set; --models ignored", file=sys.stderr)
+        else:
+            kwargs["models"] = tuple(_csv(args.models))
+    start = time.monotonic()
+    results = func(**kwargs)
+    _report_stats(f"figure {args.id} [{args.scale}]", runner, time.monotonic() - start)
+    _emit(args, results, as_table=args.id == "table1")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    runner = _make_runner(args)
+    spec = SweepSpec.grid(
+        "cli-sweep",
+        models=_csv(args.models),
+        policies=_csv(args.policies),
+        batch_sizes=[int(b) for b in _csv(args.batches)] if args.batches else (None,),
+        scale=args.scale,
+        profiling_errors=[float(e) for e in _csv(args.errors)] if args.errors else (0.0,),
+    )
+    start = time.monotonic()
+    outs = runner.run(spec)
+    _report_stats(f"sweep ({len(spec.cells)} cells)", runner, time.monotonic() - start)
+    rows = [out.result.summary() for out in outs]
+    print(format_table(rows))
+    if args.output:
+        payload = [
+            {"cell": out.cell.to_dict(), "summary": _jsonify(row)}
+            for out, row in zip(outs, rows)
+        ]
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.action == "info":
+        stats = cache.stats()
+        print(f"cache root : {stats['root']}")
+        print(f"entries    : {stats['entries']}")
+        print(f"size       : {stats['bytes'] / 1e6:.2f} MB")
+    elif args.action == "clear":
+        print(f"removed {cache.clear()} cached results")
+    elif args.action == "path":
+        print(cache.root)
+    return 0
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", choices=("ci", "paper"), default="ci",
+                        help="workload scale (default: ci)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="fan cells out over N worker processes")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="result cache directory (default: .repro_cache or $REPRO_CACHE_DIR)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache")
+    parser.add_argument("--output", default=None, metavar="FILE",
+                        help="write results as a JSON artifact instead of stdout")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one (model, policy) cell")
+    run.add_argument("--model", required=True, help="model name (bert, vit, ...)")
+    run.add_argument("--policy", default="g10", help="policy name (default: g10)")
+    run.add_argument("--batch", type=int, default=None, help="batch size (default: Figure 11's)")
+    run.add_argument("--error", type=float, default=0.0, help="profiling error fraction (§7.6)")
+    run.add_argument("--seed", type=int, default=0, help="profiling-error noise seed")
+    run.add_argument("--host-memory-gb", type=float, default=None,
+                     help="override host memory capacity (GB)")
+    run.add_argument("--ssd-bandwidth-gbs", type=float, default=None,
+                     help="override SSD read bandwidth (GB/s, write scaled proportionally)")
+    _add_common(run)
+    run.set_defaults(func=_cmd_run)
+
+    figure = sub.add_parser("figure", help="reproduce a figure or table of the paper")
+    figure.add_argument("id", choices=sorted(FIGURES) + ["table2"],
+                        help="figure number, table1/table2, or lifetime (§7.7)")
+    figure.add_argument("--models", default=None,
+                        help="comma-separated model subset (figures that sweep models)")
+    _add_common(figure)
+    figure.set_defaults(func=_cmd_figure)
+
+    sweep = sub.add_parser("sweep", help="run a custom model x policy x batch grid")
+    sweep.add_argument("--models", required=True, help="comma-separated model names")
+    sweep.add_argument("--policies", required=True, help="comma-separated policy names")
+    sweep.add_argument("--batches", default=None, help="comma-separated batch sizes")
+    sweep.add_argument("--errors", default=None, help="comma-separated profiling error levels")
+    _add_common(sweep)
+    sweep.set_defaults(func=_cmd_sweep)
+
+    cache = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache.add_argument("action", choices=("info", "clear", "path"))
+    cache.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="result cache directory (default: .repro_cache or $REPRO_CACHE_DIR)")
+    cache.set_defaults(func=_cmd_cache)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

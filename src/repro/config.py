@@ -10,6 +10,8 @@ capacity/bandwidth ratios that drive every result in the paper.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field
 
 from .errors import ConfigurationError
@@ -215,6 +217,35 @@ class SystemConfig:
         """Return a copy with a different GPU memory capacity."""
         gpu = dataclasses.replace(self.gpu, memory_bytes=nbytes)
         return dataclasses.replace(self, gpu=gpu)
+
+    # -- serialization --------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """All configuration fields as a plain (JSON-safe) nested dictionary."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SystemConfig":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            gpu=GPUConfig(**data["gpu"]),
+            ssd=SSDConfig(**data["ssd"]),
+            interconnect=InterconnectConfig(**data["interconnect"]),
+            uvm=UVMConfig(**data["uvm"]),
+            host_memory_bytes=data["host_memory_bytes"],
+            host_bandwidth=data["host_bandwidth"],
+        )
+
+    def fingerprint(self) -> str:
+        """Stable content hash over every configuration field.
+
+        Two configs with equal field values share a fingerprint regardless of
+        object identity; any field change produces a different one. Used as
+        the memoization/cache key component wherever results depend on the
+        simulated system.
+        """
+        payload = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def paper_config() -> SystemConfig:

@@ -4,8 +4,20 @@ from .harness import (
     Workload,
     build_workload,
     clear_workload_cache,
+    default_config,
+    resolve_batch_size,
     run_policy,
     run_policies,
+    scale_batch,
+)
+from .cache import ResultCache
+from .sweep import (
+    CellResult,
+    ConfigPatch,
+    SweepCell,
+    SweepRunner,
+    SweepSpec,
+    execute_cell,
 )
 from .figures import (
     figure2_memory_consumption,
@@ -29,8 +41,18 @@ __all__ = [
     "Workload",
     "build_workload",
     "clear_workload_cache",
+    "default_config",
+    "resolve_batch_size",
+    "scale_batch",
     "run_policy",
     "run_policies",
+    "ResultCache",
+    "CellResult",
+    "ConfigPatch",
+    "SweepCell",
+    "SweepRunner",
+    "SweepSpec",
+    "execute_cell",
     "figure2_memory_consumption",
     "figure3_inactive_periods",
     "figure4_size_vs_inactive",

@@ -1,0 +1,84 @@
+"""Persistent on-disk cache for sweep-cell results.
+
+Layout: one JSON file per cell under ``<root>/<key[:2]>/<key>.json`` where
+``key`` is the cell's content hash (package version, model, batch, scale,
+policy, every ``SystemConfig`` field, profiling error and seed — see
+:meth:`repro.experiments.sweep.SweepCell.cache_key`). Changing any of those
+inputs changes the key, so such entries are never served stale; they are
+merely orphaned and reclaimed by ``repro cache clear``. The key does NOT hash
+the simulator source itself: after editing simulation code within one package
+version, run ``repro cache clear`` (or pass ``--no-cache``) to avoid serving
+results computed by the old code.
+
+The default cache root is ``.repro_cache/`` in the current working directory,
+overridable with the ``REPRO_CACHE_DIR`` environment variable or an explicit
+path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from pathlib import Path
+
+#: Bump when the stored payload layout changes; mismatched entries are misses.
+CACHE_SCHEMA_VERSION = 1
+
+#: Default cache directory name (relative to the current working directory).
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+def default_cache_root() -> Path:
+    """The cache root honouring the ``REPRO_CACHE_DIR`` environment variable."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+
+
+class ResultCache:
+    """Content-addressed JSON store mapping sweep-cell keys to result payloads."""
+
+    def __init__(self, root: str | Path | None = None):
+        self.root = Path(root) if root is not None else default_cache_root()
+
+    def path_for(self, key: str) -> Path:
+        """Where a cell with this content hash is (or would be) stored."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The stored payload for ``key``, or ``None`` on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if entry.get("schema") != CACHE_SCHEMA_VERSION:
+            return None
+        return entry.get("payload")
+
+    def put(self, key: str, payload: dict, cell: dict | None = None) -> Path:
+        """Persist a payload atomically (write to a temp file, then rename)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"schema": CACHE_SCHEMA_VERSION, "key": key, "cell": cell, "payload": payload}
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with tmp.open("w", encoding="utf-8") as fh:
+            json.dump(entry, fh, separators=(",", ":"))
+        tmp.replace(path)
+        return path
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number of entries removed."""
+        removed = len(list(self.root.glob("*/*.json")))
+        if self.root.exists():
+            shutil.rmtree(self.root)
+        return removed
+
+    def stats(self) -> dict[str, object]:
+        """Entry count, total size in bytes, and the cache root path."""
+        entries = list(self.root.glob("*/*.json"))
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "bytes": sum(p.stat().st_size for p in entries),
+        }

@@ -1,4 +1,12 @@
-"""One function per figure of the paper's characterization and evaluation."""
+"""One function per figure of the paper's characterization and evaluation.
+
+Every figure is expressed as a :class:`~repro.experiments.sweep.SweepSpec` and
+executed through a :class:`~repro.experiments.sweep.SweepRunner`, so each one
+can fan its cells out over worker processes and serve repeats from the on-disk
+result cache. Pass ``runner=None`` (the default) for a plain in-process,
+uncached run — the library behaviour tests rely on; the ``python -m repro``
+CLI constructs a cached, parallel runner instead.
+"""
 
 from __future__ import annotations
 
@@ -6,11 +14,13 @@ from typing import Sequence
 
 import numpy as np
 
-from ..analysis.characterization import characterize_workload
 from ..analysis.lifetime import estimate_ssd_lifetime
 from ..analysis.traffic import traffic_breakdown
-from ..config import GB, SystemConfig
-from .harness import Workload, build_workload, default_batch_size, run_policies, run_policy
+from ..config import GB
+from ..errors import ConfigurationError
+from ..models.registry import normalize_model_name
+from .harness import default_config, scale_batch
+from .sweep import CellResult, ConfigPatch, SweepCell, SweepRunner, SweepSpec
 
 #: Designs compared in the headline evaluation, in the paper's order.
 EVALUATED_POLICIES: tuple[str, ...] = (
@@ -21,6 +31,9 @@ EVALUATED_POLICIES: tuple[str, ...] = (
     "g10_host",
     "g10",
 )
+
+#: Designs compared in the per-kernel breakdown figures (12-14).
+BREAKDOWN_POLICIES: tuple[str, ...] = ("base_uvm", "flashneuron", "deepum", "g10")
 
 #: Model/batch pairs used by the §3 characterization figures (Figures 2-4).
 CHARACTERIZATION_WORKLOADS: tuple[tuple[str, int], ...] = (
@@ -52,18 +65,38 @@ FIGURE18_SSD_BANDWIDTH_GBS: tuple[float, ...] = (6.4, 12.8, 19.2, 25.6, 32.0)
 FIGURE19_ERRORS: tuple[float, ...] = (0.0, 0.05, 0.10, 0.15, 0.20)
 
 
-def _workloads(models: Sequence[str], scale: str) -> list[Workload]:
-    return [build_workload(m, scale=scale) for m in models]
+def _run(spec: SweepSpec, runner: SweepRunner | None) -> list[CellResult]:
+    return (runner or SweepRunner()).run(spec)
+
+
+def _characterization_spec(name: str, scale: str) -> SweepSpec:
+    return SweepSpec(
+        name=name,
+        cells=tuple(
+            SweepCell(model=model, policy=None, batch_size=scale_batch(batch, scale), scale=scale)
+            for model, batch in CHARACTERIZATION_WORKLOADS
+        ),
+    )
+
+
+def _scaled_host_memory(capacity_gb: int, model: str, scale: str) -> int:
+    """A Figure 16/17 host-memory set point, shrunk for CI-scale systems so
+    the capacity sweep covers the same relative range as at paper scale."""
+    capacity = int(capacity_gb * GB)
+    if scale == "ci":
+        capacity = int(capacity * default_config(model, scale).host_memory_bytes / (128 * GB))
+    return capacity
 
 
 # --------------------------------------------------------------------------- §3
-def figure2_memory_consumption(scale: str = "paper") -> dict[str, dict[str, np.ndarray]]:
+def figure2_memory_consumption(
+    scale: str = "paper", runner: SweepRunner | None = None
+) -> dict[str, dict[str, np.ndarray]]:
     """Figure 2: all-tensor vs active-tensor memory per kernel."""
     results: dict[str, dict[str, np.ndarray]] = {}
-    for model, batch in CHARACTERIZATION_WORKLOADS:
-        workload = build_workload(model, batch if scale == "paper" else max(batch // 4, 8), scale)
-        char = characterize_workload(workload.report)
-        results[f"{model}-{workload.batch_size}"] = {
+    for out in _run(_characterization_spec("figure2", scale), runner):
+        char = out.characterization
+        results[f"{out.workload['model']}-{out.workload['batch_size']}"] = {
             "total": char.total_fraction,
             "active": char.active_fraction,
             "mean_active_fraction": np.float64(char.mean_active_fraction),
@@ -71,23 +104,25 @@ def figure2_memory_consumption(scale: str = "paper") -> dict[str, dict[str, np.n
     return results
 
 
-def figure3_inactive_periods(scale: str = "paper") -> dict[str, np.ndarray]:
+def figure3_inactive_periods(
+    scale: str = "paper", runner: SweepRunner | None = None
+) -> dict[str, np.ndarray]:
     """Figure 3: distribution of inactive-period lengths (seconds, sorted)."""
     results: dict[str, np.ndarray] = {}
-    for model, batch in CHARACTERIZATION_WORKLOADS:
-        workload = build_workload(model, batch if scale == "paper" else max(batch // 4, 8), scale)
-        char = characterize_workload(workload.report)
-        results[f"{model}-{workload.batch_size}"] = char.inactive_period_seconds
+    for out in _run(_characterization_spec("figure3", scale), runner):
+        char = out.characterization
+        results[f"{out.workload['model']}-{out.workload['batch_size']}"] = char.inactive_period_seconds
     return results
 
 
-def figure4_size_vs_inactive(scale: str = "paper") -> dict[str, dict[str, np.ndarray]]:
+def figure4_size_vs_inactive(
+    scale: str = "paper", runner: SweepRunner | None = None
+) -> dict[str, dict[str, np.ndarray]]:
     """Figure 4: (inactive period length, tensor size) scatter per workload."""
     results: dict[str, dict[str, np.ndarray]] = {}
-    for model, batch in CHARACTERIZATION_WORKLOADS:
-        workload = build_workload(model, batch if scale == "paper" else max(batch // 4, 8), scale)
-        char = characterize_workload(workload.report)
-        results[f"{model}-{workload.batch_size}"] = {
+    for out in _run(_characterization_spec("figure4", scale), runner):
+        char = out.characterization
+        results[f"{out.workload['model']}-{out.workload['batch_size']}"] = {
             "seconds": char.inactive_period_seconds,
             "bytes": char.inactive_period_bytes,
         }
@@ -96,62 +131,68 @@ def figure4_size_vs_inactive(scale: str = "paper") -> dict[str, dict[str, np.nda
 
 # --------------------------------------------------------------------------- §7.2
 def figure11_end_to_end(
-    scale: str = "paper", models: Sequence[str] = FIGURE11_MODELS
+    scale: str = "paper",
+    models: Sequence[str] = FIGURE11_MODELS,
+    runner: SweepRunner | None = None,
 ) -> dict[str, dict[str, float]]:
     """Figure 11: training throughput of every design, normalised to ideal."""
+    spec = SweepSpec.grid("figure11", models=models, policies=EVALUATED_POLICIES, scale=scale)
     results: dict[str, dict[str, float]] = {}
-    for workload in _workloads(models, scale):
-        runs = run_policies(workload, EVALUATED_POLICIES)
-        results[workload.name] = {
-            name: run.normalized_performance for name, run in runs.items()
-        }
-        results[workload.name]["memory_footprint_ratio"] = workload.memory_footprint_ratio
+    for out in _run(spec, runner):
+        per_model = results.setdefault(out.workload["model"], {})
+        per_model[out.cell.policy] = out.result.normalized_performance
+        per_model["memory_footprint_ratio"] = out.workload["memory_footprint_ratio"]
     return results
 
 
 def figure12_breakdown(
-    scale: str = "paper", models: Sequence[str] = FIGURE11_MODELS
+    scale: str = "paper",
+    models: Sequence[str] = FIGURE11_MODELS,
+    runner: SweepRunner | None = None,
 ) -> dict[str, dict[str, dict[str, float]]]:
     """Figure 12: overlapped-compute vs stall fraction of each design."""
+    spec = SweepSpec.grid("figure12", models=models, policies=BREAKDOWN_POLICIES, scale=scale)
     results: dict[str, dict[str, dict[str, float]]] = {}
-    for workload in _workloads(models, scale):
-        runs = run_policies(workload, ("base_uvm", "flashneuron", "deepum", "g10"))
-        results[workload.name] = {
-            name: {"overlap": run.overlap_fraction, "stall": run.stall_fraction}
-            for name, run in runs.items()
+    for out in _run(spec, runner):
+        run = out.result
+        results.setdefault(out.workload["model"], {})[out.cell.policy] = {
+            "overlap": run.overlap_fraction,
+            "stall": run.stall_fraction,
         }
     return results
 
 
 def figure13_kernel_slowdown(
-    scale: str = "paper", models: Sequence[str] = FIGURE11_MODELS
+    scale: str = "paper",
+    models: Sequence[str] = FIGURE11_MODELS,
+    runner: SweepRunner | None = None,
 ) -> dict[str, dict[str, np.ndarray]]:
     """Figure 13: per-kernel slowdown distributions (sorted descending)."""
+    spec = SweepSpec.grid("figure13", models=models, policies=BREAKDOWN_POLICIES, scale=scale)
     results: dict[str, dict[str, np.ndarray]] = {}
-    for workload in _workloads(models, scale):
-        runs = run_policies(workload, ("base_uvm", "flashneuron", "deepum", "g10"))
-        results[workload.name] = {
-            name: np.sort(run.kernel_slowdowns())[::-1] for name, run in runs.items()
-        }
+    for out in _run(spec, runner):
+        results.setdefault(out.workload["model"], {})[out.cell.policy] = np.sort(
+            out.result.kernel_slowdowns()
+        )[::-1]
     return results
 
 
 def figure14_traffic(
-    scale: str = "paper", models: Sequence[str] = FIGURE11_MODELS
+    scale: str = "paper",
+    models: Sequence[str] = FIGURE11_MODELS,
+    runner: SweepRunner | None = None,
 ) -> dict[str, dict[str, dict[str, float]]]:
     """Figure 14: GPU-SSD vs GPU-Host migration traffic per design."""
+    spec = SweepSpec.grid("figure14", models=models, policies=BREAKDOWN_POLICIES, scale=scale)
     results: dict[str, dict[str, dict[str, float]]] = {}
-    for workload in _workloads(models, scale):
-        runs = run_policies(workload, ("base_uvm", "flashneuron", "deepum", "g10"))
-        results[workload.name] = {}
-        for name, run in runs.items():
-            breakdown = traffic_breakdown(run)
-            results[workload.name][name] = {
-                "gpu_ssd_gb": breakdown.gpu_ssd_gb,
-                "gpu_host_gb": breakdown.gpu_host_gb,
-                "read_gb": breakdown.read_gb,
-                "write_gb": breakdown.write_gb,
-            }
+    for out in _run(spec, runner):
+        breakdown = traffic_breakdown(out.result)
+        results.setdefault(out.workload["model"], {})[out.cell.policy] = {
+            "gpu_ssd_gb": breakdown.gpu_ssd_gb,
+            "gpu_host_gb": breakdown.gpu_host_gb,
+            "read_gb": breakdown.read_gb,
+            "write_gb": breakdown.write_gb,
+        }
     return results
 
 
@@ -160,18 +201,29 @@ def figure15_batch_sweep(
     scale: str = "paper",
     models: Sequence[str] = FIGURE11_MODELS,
     policies: Sequence[str] = ("base_uvm", "flashneuron", "deepum", "g10", "ideal"),
+    runner: SweepRunner | None = None,
 ) -> dict[str, dict[int, dict[str, float]]]:
     """Figure 15: training throughput (samples/s) across batch sizes."""
-    results: dict[str, dict[int, dict[str, float]]] = {}
+    cells = []
     for model in models:
-        batches = FIGURE15_BATCHES[model]
-        if scale == "ci":
-            batches = tuple(max(b // 4, 8) for b in batches)
-        results[model] = {}
+        try:
+            batches = FIGURE15_BATCHES[normalize_model_name(model)]
+        except KeyError:
+            raise ConfigurationError(
+                f"no Figure 15 batch sweep for model {model!r}; "
+                f"available: {sorted(FIGURE15_BATCHES)}"
+            ) from None
+        batches = tuple(scale_batch(b, scale) for b in batches)
         for batch in batches:
-            workload = build_workload(model, batch, scale)
-            runs = run_policies(workload, policies)
-            results[model][batch] = {name: run.throughput() for name, run in runs.items()}
+            cells.extend(
+                SweepCell(model=model, policy=policy, batch_size=batch, scale=scale)
+                for policy in policies
+            )
+    results: dict[str, dict[int, dict[str, float]]] = {}
+    for out in _run(SweepSpec("figure15", tuple(cells)), runner):
+        per_model = results.setdefault(out.workload["model"], {})
+        per_batch = per_model.setdefault(out.workload["batch_size"], {})
+        per_batch[out.cell.policy] = out.result.throughput()
     return results
 
 
@@ -180,42 +232,56 @@ def figure16_host_memory(
     scale: str = "paper",
     models: Sequence[str] = FIGURE11_MODELS,
     host_memory_gb: Sequence[int] = FIGURE16_HOST_MEMORY_GB,
+    runner: SweepRunner | None = None,
 ) -> dict[str, dict[int, float]]:
     """Figure 16: G10 execution time as host memory capacity varies."""
-    results: dict[str, dict[int, float]] = {}
+    cells = []
+    labels = []
     for model in models:
-        workload = build_workload(model, scale=scale)
-        results[model] = {}
         for capacity_gb in host_memory_gb:
-            capacity = int(capacity_gb * GB)
-            if scale == "ci":
-                capacity = int(capacity * workload.config.host_memory_bytes
-                               / (128 * GB))
-            config = workload.config.with_host_memory(capacity)
-            run = run_policy(workload, "g10", config)
-            results[model][capacity_gb] = run.execution_time
+            cells.append(
+                SweepCell(
+                    model=model,
+                    policy="g10",
+                    scale=scale,
+                    patch=ConfigPatch(host_memory_bytes=_scaled_host_memory(capacity_gb, model, scale)),
+                )
+            )
+            labels.append(capacity_gb)
+    results: dict[str, dict[int, float]] = {}
+    for out, capacity_gb in zip(_run(SweepSpec("figure16", tuple(cells)), runner), labels):
+        results.setdefault(out.workload["model"], {})[capacity_gb] = out.result.execution_time
     return results
 
 
 def figure17_host_memory_compare(
     scale: str = "paper",
     host_memory_gb: Sequence[int] = (0, 32, 64, 128, 256),
+    runner: SweepRunner | None = None,
 ) -> dict[str, dict[int, dict[str, float]]]:
     """Figure 17: G10 vs DeepUM+ vs FlashNeuron across host memory capacities."""
     cases = {"vit": 1024, "inceptionv3": 1280}
-    results: dict[str, dict[int, dict[str, float]]] = {}
+    policies = ("deepum", "flashneuron", "g10")
+    cells = []
+    labels: list[tuple[int, str]] = []
     for model, batch in cases.items():
-        workload = build_workload(model, batch if scale == "paper" else max(batch // 4, 8), scale)
-        results[model] = {}
         for capacity_gb in host_memory_gb:
-            capacity = int(capacity_gb * GB)
-            if scale == "ci":
-                capacity = int(capacity * workload.config.host_memory_bytes / (128 * GB))
-            config = workload.config.with_host_memory(capacity)
-            runs = run_policies(workload, ("deepum", "flashneuron", "g10"), config)
-            results[model][capacity_gb] = {
-                name: run.execution_time for name, run in runs.items()
-            }
+            patch = ConfigPatch(host_memory_bytes=_scaled_host_memory(capacity_gb, model, scale))
+            for policy in policies:
+                cells.append(
+                    SweepCell(
+                        model=model,
+                        policy=policy,
+                        batch_size=scale_batch(batch, scale),
+                        scale=scale,
+                        patch=patch,
+                    )
+                )
+                labels.append((capacity_gb, policy))
+    results: dict[str, dict[int, dict[str, float]]] = {}
+    for out, (capacity_gb, policy) in zip(_run(SweepSpec("figure17", tuple(cells)), runner), labels):
+        per_model = results.setdefault(out.workload["model"], {})
+        per_model.setdefault(capacity_gb, {})[policy] = out.result.execution_time
     return results
 
 
@@ -224,19 +290,21 @@ def figure18_ssd_bandwidth(
     scale: str = "paper",
     models: Sequence[str] = FIGURE11_MODELS,
     bandwidths_gbs: Sequence[float] = FIGURE18_SSD_BANDWIDTH_GBS,
+    runner: SweepRunner | None = None,
 ) -> dict[str, dict[float, dict[str, float]]]:
     """Figure 18: normalised performance as SSD bandwidth scales (PCIe 4.0 host link)."""
-    results: dict[str, dict[float, dict[str, float]]] = {}
+    cells = []
+    labels = []
     for model in models:
-        workload = build_workload(model, scale=scale)
-        results[model] = {}
         for bandwidth in bandwidths_gbs:
-            config = workload.config.with_interconnect_bandwidth(32 * GB)
-            config = config.with_ssd_bandwidth(bandwidth * GB)
-            runs = run_policies(workload, ("base_uvm", "flashneuron", "deepum", "g10"), config)
-            results[model][bandwidth] = {
-                name: run.normalized_performance for name, run in runs.items()
-            }
+            patch = ConfigPatch(interconnect_bandwidth=32 * GB, ssd_read_bandwidth=bandwidth * GB)
+            for policy in BREAKDOWN_POLICIES:
+                cells.append(SweepCell(model=model, policy=policy, scale=scale, patch=patch))
+                labels.append((bandwidth, policy))
+    results: dict[str, dict[float, dict[str, float]]] = {}
+    for out, (bandwidth, policy) in zip(_run(SweepSpec("figure18", tuple(cells)), runner), labels):
+        per_model = results.setdefault(out.workload["model"], {})
+        per_model.setdefault(bandwidth, {})[policy] = out.result.normalized_performance
     return results
 
 
@@ -245,37 +313,50 @@ def figure19_profiling_error(
     scale: str = "paper",
     models: Sequence[str] = FIGURE11_MODELS,
     errors: Sequence[float] = FIGURE19_ERRORS,
+    runner: SweepRunner | None = None,
 ) -> dict[str, dict[float, float]]:
     """Figure 19: G10 performance under kernel-timing prediction errors.
 
     Values are normalised to the error-free G10 run (1.0 means no degradation).
     """
+    cells = []
+    for model in models:
+        cells.append(SweepCell(model=model, policy="g10", scale=scale))
+        cells.extend(
+            SweepCell(model=model, policy="g10", scale=scale, profiling_error=error, seed=17)
+            for error in errors
+        )
+    outs = iter(_run(SweepSpec("figure19", tuple(cells)), runner))
     results: dict[str, dict[float, float]] = {}
     for model in models:
-        workload = build_workload(model, scale=scale)
-        baseline = run_policy(workload, "g10", profiling_error=0.0)
-        results[model] = {}
+        baseline_out = next(outs)
+        baseline = baseline_out.result
+        per_model: dict[float, float] = {}
         for error in errors:
-            run = run_policy(workload, "g10", profiling_error=error, seed=17)
-            results[model][error] = (
+            run = next(outs).result
+            per_model[error] = (
                 baseline.execution_time / run.execution_time if run.execution_time else 0.0
             )
+        results[baseline_out.workload["model"]] = per_model
     return results
 
 
 # --------------------------------------------------------------------------- §7.7
 def section77_ssd_lifetime(
-    scale: str = "paper", models: Sequence[str] = FIGURE11_MODELS
+    scale: str = "paper",
+    models: Sequence[str] = FIGURE11_MODELS,
+    runner: SweepRunner | None = None,
 ) -> dict[str, dict[str, float]]:
     """§7.7: projected SSD lifetime (years) and write traffic per design."""
+    policies = ("flashneuron", "deepum", "g10")
+    spec = SweepSpec.grid("section77", models=models, policies=policies, scale=scale)
     results: dict[str, dict[str, float]] = {}
-    for workload in _workloads(models, scale):
-        results[workload.name] = {}
-        for policy in ("flashneuron", "deepum", "g10"):
-            run = run_policy(workload, policy)
-            if run.failed:
-                continue
-            estimate = estimate_ssd_lifetime(run, workload.config.ssd)
-            results[workload.name][f"{policy}_lifetime_years"] = estimate.lifetime_years
-            results[workload.name][f"{policy}_ssd_writes_gb"] = run.ssd_bytes_written / 1e9
+    for out in _run(spec, runner):
+        per_model = results.setdefault(out.workload["model"], {})
+        run = out.result
+        if run.failed:
+            continue
+        estimate = estimate_ssd_lifetime(run, out.cell.resolved().config().ssd)
+        per_model[f"{out.cell.policy}_lifetime_years"] = estimate.lifetime_years
+        per_model[f"{out.cell.policy}_ssd_writes_gb"] = run.ssd_bytes_written / 1e9
     return results

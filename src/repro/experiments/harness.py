@@ -74,6 +74,40 @@ def default_batch_size(model: str) -> int:
     return FIGURE11_BATCH_SIZES[normalize_model_name(model)]
 
 
+def scale_batch(batch_size: int, scale: str) -> int:
+    """Shrink a paper-scale batch size for CI-scale workloads (/4, floored at 8)."""
+    if scale == "ci":
+        return max(batch_size // 4, 8)
+    return batch_size
+
+
+def resolve_batch_size(model: str, scale: str = "paper", batch_size: int | None = None) -> int:
+    """The batch size a workload will actually train with.
+
+    ``None`` resolves to the Figure 11 default, shrunk by :func:`scale_batch`
+    for CI-scale workloads — the same rule :func:`build_workload` applies.
+    """
+    if batch_size is not None:
+        return batch_size
+    return scale_batch(default_batch_size(model), scale)
+
+
+def default_config(model: str, scale: str = "paper") -> SystemConfig:
+    """The system configuration a workload defaults to at a given scale.
+
+    Paper scale is Table 2 verbatim; CI scale shrinks GPU/host capacities by
+    the model's footprint-scale factor so the memory-pressure regime matches.
+    """
+    if scale not in ("paper", "ci"):
+        raise ConfigurationError(f"unknown workload scale {scale!r}")
+    config = paper_config()
+    if scale == "ci":
+        factor = CI_CAPACITY_SCALE[normalize_model_name(model)]
+        config = config.with_gpu_memory(int(config.gpu.memory_bytes * factor))
+        config = config.with_host_memory(int(config.host_memory_bytes * factor))
+    return config
+
+
 def build_workload(
     model: str,
     batch_size: int | None = None,
@@ -94,24 +128,19 @@ def build_workload(
     if scale not in ("paper", "ci"):
         raise ConfigurationError(f"unknown workload scale {scale!r}")
     key = normalize_model_name(model)
-    if batch_size is None:
-        batch_size = default_batch_size(key)
-        if scale == "ci":
-            batch_size = max(batch_size // 4, 8)
+    batch_size = resolve_batch_size(key, scale, batch_size)
+    if config is None:
+        config = default_config(key, scale)
 
-    cache_key = (key, batch_size, scale, id(config) if config is not None else None)
+    # Key the memo on the config's *value* hash: keying on id(config) would
+    # hand back a stale workload when a GC'd config's id is reused.
+    cache_key = (key, batch_size, scale, config.fingerprint())
     cached = _CACHE.get(cache_key)
     if cached is not None:
         return cached
 
     overrides = CI_OVERRIDES[key] if scale == "ci" else {}
     graph = build_model(key, batch_size, **overrides)
-    if config is None:
-        config = paper_config()
-        if scale == "ci":
-            factor = CI_CAPACITY_SCALE[key]
-            config = config.with_gpu_memory(int(config.gpu.memory_bytes * factor))
-            config = config.with_host_memory(int(config.host_memory_bytes * factor))
     training = profile_training_graph(expand_training(graph), config)
     report = TensorVitalityAnalyzer(training).analyze()
     workload = Workload(

@@ -4,23 +4,27 @@ from __future__ import annotations
 
 from ..config import GB, SystemConfig, paper_config
 from ..models.registry import FIGURE11_BATCH_SIZES, available_models, model_description
-from .harness import build_workload
+from .sweep import SweepCell, SweepRunner, SweepSpec
 
 
-def table1_models(scale: str = "paper") -> list[dict[str, object]]:
+def table1_models(scale: str = "paper", runner: SweepRunner | None = None) -> list[dict[str, object]]:
     """Table 1: evaluated DNN models, their kernel counts, sources and datasets."""
+    models = available_models()
+    spec = SweepSpec(
+        name="table1",
+        cells=tuple(SweepCell(model=model, policy=None, scale=scale) for model in models),
+    )
     rows: list[dict[str, object]] = []
-    for model in available_models():
+    for model, out in zip(models, (runner or SweepRunner()).run(spec)):
         description = model_description(model)
-        workload = build_workload(model, scale=scale)
         rows.append(
             {
                 "model": description["display"],
-                "kernels": workload.graph.num_kernels,
+                "kernels": out.workload["num_kernels"],
                 "source": description["source"],
                 "dataset": description["dataset"],
                 "batch_size": FIGURE11_BATCH_SIZES[model],
-                "memory_footprint_pct": round(100 * workload.memory_footprint_ratio, 1),
+                "memory_footprint_pct": round(100 * out.workload["memory_footprint_ratio"], 1),
             }
         )
     return rows

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import dataclasses
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -29,6 +31,20 @@ class KernelTiming:
         if self.ideal_duration <= 0:
             return 1.0
         return self.actual_duration / self.ideal_duration
+
+    def to_dict(self) -> dict:
+        """All fields as a JSON-safe dictionary."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "KernelTiming":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            index=data["index"],
+            ideal_duration=data["ideal_duration"],
+            stall=data["stall"],
+            start_time=data["start_time"],
+        )
 
 
 @dataclass
@@ -113,6 +129,60 @@ class SimulationResult:
         if slowdowns.size == 0:
             return 0.0
         return float((slowdowns > threshold).mean())
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Stable JSON-safe representation of the complete result.
+
+        Round-trips through :meth:`from_dict` without loss: every stored field
+        (including per-kernel timings and traffic counters) is preserved, so
+        derived metrics computed on a deserialized result are bit-identical to
+        the original. This is the on-disk format of the sweep result cache.
+        An infinite execution time (failed runs) is stored as ``None`` so the
+        output is strict RFC-8259 JSON rather than the ``Infinity`` literal.
+        """
+        return {
+            "model_name": self.model_name,
+            "batch_size": self.batch_size,
+            "policy_name": self.policy_name,
+            "ideal_time": self.ideal_time,
+            "execution_time": self.execution_time if math.isfinite(self.execution_time) else None,
+            "kernel_timings": [t.to_dict() for t in self.kernel_timings],
+            "traffic": dataclasses.asdict(self.traffic),
+            "ssd_bytes_written": self.ssd_bytes_written,
+            "ssd_bytes_read": self.ssd_bytes_read,
+            "ssd_write_amplification": self.ssd_write_amplification,
+            "fault_events": self.fault_events,
+            "peak_gpu_bytes": self.peak_gpu_bytes,
+            "peak_host_bytes": self.peak_host_bytes,
+            "failed": self.failed,
+            "failure_reason": self.failure_reason,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationResult":
+        """Inverse of :meth:`to_dict`."""
+        execution_time = data["execution_time"]
+        if execution_time is None:  # JSON stores inf as null
+            execution_time = float("inf")
+        return cls(
+            model_name=data["model_name"],
+            batch_size=data["batch_size"],
+            policy_name=data["policy_name"],
+            ideal_time=data["ideal_time"],
+            execution_time=execution_time,
+            kernel_timings=[KernelTiming.from_dict(t) for t in data["kernel_timings"]],
+            traffic=TrafficCounters(**data["traffic"]),
+            ssd_bytes_written=data["ssd_bytes_written"],
+            ssd_bytes_read=data["ssd_bytes_read"],
+            ssd_write_amplification=data["ssd_write_amplification"],
+            fault_events=data["fault_events"],
+            peak_gpu_bytes=data["peak_gpu_bytes"],
+            peak_host_bytes=data["peak_host_bytes"],
+            failed=data["failed"],
+            failure_reason=data["failure_reason"],
+        )
 
     def summary(self) -> dict[str, float | str | bool]:
         """Compact dictionary used by reports and tests."""

@@ -4,40 +4,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.config import GB, MB, SystemConfig, ci_config, paper_config
+from repro.config import SystemConfig, ci_config, paper_config
 from repro.core.vitality import TensorVitalityAnalyzer
 from repro.experiments.harness import build_workload
 from repro.graph import DataflowGraph, expand_training
-from repro.graph.tensor import TensorKind
-from repro.graph.operator import OpType
-from repro.models.builder import ModelBuilder
 from repro.profiling import profile_training_graph
 
-
-def build_tiny_mlp(batch_size: int = 4, hidden: int = 64, layers: int = 3) -> DataflowGraph:
-    """A minimal multi-layer perceptron used across unit tests."""
-    builder = ModelBuilder(name=f"tiny-mlp-{batch_size}", batch_size=batch_size)
-    x = builder.graph.add_tensor("input", (batch_size, hidden), TensorKind.INPUT)
-    for _ in range(layers):
-        x = builder.linear(x, hidden)
-        x = builder.relu(x)
-    builder.classifier(x, 10)
-    return builder.build()
-
-
-def build_branchy_graph(batch_size: int = 2) -> DataflowGraph:
-    """A graph with a residual branch, exercising join/branch lifetimes."""
-    builder = ModelBuilder(name=f"branchy-{batch_size}", batch_size=batch_size)
-    x = builder.input_image(3, 16, 16)
-    a = builder.conv2d(x, 8, 3)
-    a = builder.batchnorm(a)
-    b = builder.conv2d(a, 8, 3)
-    b = builder.batchnorm(b)
-    joined = builder.add(a, b)
-    joined = builder.relu(joined)
-    pooled = builder.global_pool(joined)
-    builder.classifier(pooled, 5)
-    return builder.build()
+from helpers import build_branchy_graph, build_tiny_mlp
 
 
 @pytest.fixture(scope="session")

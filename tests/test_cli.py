@@ -1,0 +1,122 @@
+"""Smoke tests for the ``python -m repro`` command-line interface."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+SRC_DIR = str(Path(__file__).resolve().parents[1] / "src")
+
+
+def run_cli(*argv: str) -> int:
+    return main(list(argv))
+
+
+class TestFigureCommand:
+    def test_figure11_ci_and_cache_hit(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        args = ("figure", "11", "--scale", "ci", "--models", "bert", "--cache-dir", cache_dir)
+        assert run_cli(*args) == 0
+        cold = capsys.readouterr()
+        results = json.loads(cold.out)
+        assert 0.0 < results["bert"]["g10"] <= 1.0
+        assert results["bert"]["g10"] > results["bert"]["base_uvm"]
+        assert "6 executed" in cold.err
+
+        # Second invocation is served entirely from the on-disk cache and
+        # produces bit-identical output.
+        assert run_cli(*args) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out
+        assert "6 cached, 0 executed" in warm.err
+
+    def test_parallel_matches_serial(self, tmp_path, capsys):
+        base = ("figure", "12", "--scale", "ci", "--models", "bert", "--no-cache")
+        assert run_cli(*base) == 0
+        serial = capsys.readouterr().out
+        assert run_cli(*base, "--jobs", "2") == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_output_artifact(self, tmp_path, capsys):
+        artifact = tmp_path / "fig19.json"
+        assert run_cli(
+            "figure", "19", "--scale", "ci", "--models", "bert",
+            "--no-cache", "--output", str(artifact),
+        ) == 0
+        capsys.readouterr()
+        results = json.loads(artifact.read_text())
+        assert results["bert"]["0.2"] > 0.9
+
+    def test_table_commands(self, capsys, tmp_path):
+        assert run_cli("figure", "table1", "--scale", "ci",
+                       "--cache-dir", str(tmp_path / "c")) == 0
+        out = capsys.readouterr().out
+        assert "BERT" in out and "SENet154" in out
+        assert run_cli("figure", "table2", "--no-cache") == 0
+        out = capsys.readouterr().out
+        assert "40 GB HBM2e" in out
+
+    def test_unknown_figure_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli("figure", "99")
+
+
+class TestRunCommand:
+    def test_run_single_cell(self, tmp_path, capsys):
+        artifact = tmp_path / "run.json"
+        assert run_cli(
+            "run", "--model", "bert", "--policy", "g10", "--scale", "ci",
+            "--cache-dir", str(tmp_path / "c"), "--output", str(artifact),
+        ) == 0
+        out = capsys.readouterr().out
+        assert "normalized_performance" in out
+        payload = json.loads(artifact.read_text())
+        assert payload["cell"]["model"] == "bert"
+        assert not payload["result"]["failed"]
+
+
+class TestSweepCommand:
+    def test_grid_sweep(self, tmp_path, capsys):
+        artifact = tmp_path / "sweep.json"
+        assert run_cli(
+            "sweep", "--models", "bert", "--policies", "g10,base_uvm",
+            "--scale", "ci", "--cache-dir", str(tmp_path / "c"), "--output", str(artifact),
+        ) == 0
+        rows = json.loads(artifact.read_text())
+        assert [row["cell"]["policy"] for row in rows] == ["g10", "base_uvm"]
+
+
+class TestCacheCommand:
+    def test_info_and_clear(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        run_cli("run", "--model", "bert", "--scale", "ci", "--cache-dir", cache_dir)
+        capsys.readouterr()
+        assert run_cli("cache", "info", "--cache-dir", cache_dir) == 0
+        assert "entries    : 1" in capsys.readouterr().out
+        assert run_cli("cache", "clear", "--cache-dir", cache_dir) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert run_cli("cache", "path", "--cache-dir", cache_dir) == 0
+        assert cache_dir in capsys.readouterr().out
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self, tmp_path):
+        """The acceptance-criteria invocation, end to end in a fresh process."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "figure", "11", "--scale", "ci",
+             "--models", "bert", "--jobs", "2"],
+            cwd=tmp_path, env=env, capture_output=True, text=True, timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        results = json.loads(proc.stdout)
+        assert results["bert"]["g10"] > results["bert"]["base_uvm"]
+        # The default cache landed in the working directory.
+        assert (tmp_path / ".repro_cache").is_dir()

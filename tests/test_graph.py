@@ -17,7 +17,7 @@ from repro.graph import (
 from repro.graph.kernel import KernelTrace
 from repro.graph.tensor import TensorInfo, TensorSet, make_tensor
 
-from conftest import build_tiny_mlp
+from helpers import build_tiny_mlp
 
 
 class TestTensorInfo:

@@ -14,7 +14,7 @@ from repro.profiling import (
     profile_training_graph,
 )
 
-from conftest import build_tiny_mlp
+from helpers import build_tiny_mlp
 
 
 def _kernel(flops: float, nbytes: float, compute_class: str = "generic") -> Kernel:

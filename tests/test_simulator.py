@@ -21,7 +21,7 @@ from repro.sim.policy import MigrationDecision
 from repro.sim.results import KernelTiming, SimulationResult
 from repro.uvm.page_table import MemoryLocation
 
-from conftest import build_tiny_mlp
+from helpers import build_tiny_mlp
 
 
 class TestEventQueue:

@@ -1,0 +1,251 @@
+"""Unit tests for the sweep runner, result cache and serialization layers."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.characterization import characterize_workload
+from repro.config import GB, SystemConfig, paper_config
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    CellResult,
+    ConfigPatch,
+    ResultCache,
+    SweepCell,
+    SweepRunner,
+    SweepSpec,
+    build_workload,
+    default_config,
+    execute_cell,
+    resolve_batch_size,
+    run_policy,
+)
+from repro.sim.results import KernelTiming, SimulationResult
+
+
+class TestConfigSerialization:
+    def test_round_trip(self):
+        config = paper_config().with_host_memory(7 * GB).with_ssd_bandwidth(1.5 * GB)
+        restored = SystemConfig.from_dict(config.to_dict())
+        assert restored == config
+
+    def test_fingerprint_is_value_based(self):
+        assert paper_config().fingerprint() == paper_config().fingerprint()
+
+    def test_fingerprint_changes_with_any_field(self):
+        base = paper_config()
+        assert base.with_host_memory(1 * GB).fingerprint() != base.fingerprint()
+        assert base.with_gpu_memory(1 * GB).fingerprint() != base.fingerprint()
+        assert base.with_ssd_bandwidth(1 * GB).fingerprint() != base.fingerprint()
+
+
+class TestResultSerialization:
+    def test_simulation_result_round_trip(self, bert_ci_workload):
+        result = run_policy(bert_ci_workload, "g10")
+        restored = SimulationResult.from_dict(result.to_dict())
+        assert restored == result
+        assert restored.normalized_performance == result.normalized_performance
+        assert np.array_equal(restored.kernel_slowdowns(), result.kernel_slowdowns())
+        # The dict must be pure JSON: a full dump/load cycle preserves it.
+        assert SimulationResult.from_dict(json.loads(json.dumps(result.to_dict()))) == result
+
+    def test_kernel_timing_round_trip(self):
+        timing = KernelTiming(index=3, ideal_duration=0.5, stall=0.1, start_time=2.0)
+        assert KernelTiming.from_dict(timing.to_dict()) == timing
+
+    def test_failed_result_round_trip(self):
+        failed = SimulationResult(
+            model_name="m", batch_size=1, policy_name="p",
+            ideal_time=1.0, execution_time=float("inf"),
+            failed=True, failure_reason="working set exceeds GPU memory",
+        )
+        # allow_nan=False: the dict must be strict RFC-8259 JSON (no Infinity).
+        restored = SimulationResult.from_dict(json.loads(json.dumps(failed.to_dict(), allow_nan=False)))
+        assert restored.failed and restored.failure_reason == failed.failure_reason
+        assert restored.execution_time == float("inf")
+
+
+class TestWorkloadMemoKey:
+    def test_equal_valued_configs_share_the_memo_entry(self):
+        """The memo keys on config *values*: two distinct-but-equal config
+        objects must hit the same entry (an id()-based key would miss, and —
+        worse — could serve a stale workload after id reuse)."""
+        a = build_workload("bert", scale="ci", config=paper_config().with_gpu_memory(10 * GB))
+        b = build_workload("bert", scale="ci", config=paper_config().with_gpu_memory(10 * GB))
+        assert a is b
+
+    def test_different_configs_do_not_collide(self):
+        a = build_workload("bert", scale="ci", config=paper_config().with_gpu_memory(10 * GB))
+        b = build_workload("bert", scale="ci", config=paper_config().with_gpu_memory(11 * GB))
+        assert a is not b
+        assert a.config.gpu.memory_bytes != b.config.gpu.memory_bytes
+
+
+class TestConfigPatch:
+    def test_empty_patch_is_identity(self):
+        config = paper_config()
+        assert ConfigPatch().is_empty()
+        assert ConfigPatch().apply(config) == config
+
+    def test_patch_fields_apply(self):
+        patch = ConfigPatch(
+            host_memory_bytes=3 * GB,
+            interconnect_bandwidth=32 * GB,
+            ssd_read_bandwidth=6.4 * GB,
+        )
+        config = patch.apply(paper_config())
+        assert config.host_memory_bytes == 3 * GB
+        assert config.interconnect.bandwidth == 32 * GB
+        assert config.ssd.read_bandwidth == 6.4 * GB
+        # Write bandwidth scales proportionally when not given explicitly.
+        assert config.ssd.write_bandwidth == pytest.approx(6.4 * GB * (3.0 / 3.2))
+
+    def test_round_trip(self):
+        patch = ConfigPatch(host_memory_bytes=GB, ssd_read_bandwidth=2.0 * GB)
+        assert ConfigPatch.from_dict(patch.to_dict()) == patch
+        assert ConfigPatch.from_dict({}) == ConfigPatch()
+
+
+class TestSweepCell:
+    def test_resolution_fills_defaults(self):
+        cell = SweepCell(model="BERT", policy="g10", scale="ci").resolved()
+        assert cell.model == "bert"
+        assert cell.batch_size == resolve_batch_size("bert", "ci")
+
+    def test_seed_is_canonicalized_without_noise(self):
+        assert SweepCell(model="bert", seed=7).resolved().seed == 0
+        assert SweepCell(model="bert", profiling_error=0.1, seed=7).resolved().seed == 7
+
+    def test_cache_key_is_stable_and_sensitive(self):
+        cell = SweepCell(model="bert", policy="g10", scale="ci")
+        assert cell.cache_key() == SweepCell(model="BERT", policy="g10", scale="ci").cache_key()
+        assert cell.cache_key() != dataclasses.replace(cell, policy="deepum").cache_key()
+        assert cell.cache_key() != dataclasses.replace(cell, batch_size=16).cache_key()
+        assert (
+            cell.cache_key()
+            != dataclasses.replace(cell, patch=ConfigPatch(host_memory_bytes=GB)).cache_key()
+        )
+
+    def test_cell_config_applies_patch_to_scale_default(self):
+        cell = SweepCell(model="bert", scale="ci", patch=ConfigPatch(host_memory_bytes=GB))
+        config = cell.config()
+        assert config.host_memory_bytes == GB
+        assert config.gpu.memory_bytes == default_config("bert", "ci").gpu.memory_bytes
+
+    def test_round_trip(self):
+        cell = SweepCell(
+            model="vit", policy=None, batch_size=32, scale="ci",
+            patch=ConfigPatch(ssd_read_bandwidth=GB), profiling_error=0.1, seed=3,
+        )
+        assert SweepCell.from_dict(cell.to_dict()) == cell
+
+
+class TestSweepSpecGrid:
+    def test_grid_is_model_major(self):
+        spec = SweepSpec.grid("g", models=("bert", "vit"), policies=("g10", "deepum"), scale="ci")
+        assert [(c.model, c.policy) for c in spec.cells] == [
+            ("bert", "g10"), ("bert", "deepum"), ("vit", "g10"), ("vit", "deepum"),
+        ]
+
+
+class TestSweepRunner:
+    SPEC = SweepSpec.grid(
+        "unit", models=("bert",), policies=("g10", "base_uvm"), scale="ci"
+    )
+
+    def test_parallel_matches_serial_bit_for_bit(self):
+        serial = SweepRunner().run(self.SPEC)
+        parallel = SweepRunner(jobs=2).run(self.SPEC)
+        assert [out.cell for out in serial] == [out.cell for out in parallel]
+        for s, p in zip(serial, parallel):
+            assert s.payload == p.payload
+            assert s.result == p.result
+
+    def test_cache_hit_miss_and_invalidation(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        runner = SweepRunner(cache=cache)
+
+        first = runner.run(self.SPEC)
+        assert runner.last_stats == {"cells": 2, "cache_hits": 0, "executed": 2}
+        assert all(not out.cached for out in first)
+
+        second = runner.run(self.SPEC)
+        assert runner.last_stats == {"cells": 2, "cache_hits": 2, "executed": 0}
+        assert all(out.cached for out in second)
+        assert [s.payload for s in first] == [s.payload for s in second]
+
+        # Changing any configuration input changes the key: a miss, not a stale hit.
+        patched = SweepSpec.grid(
+            "unit", models=("bert",), policies=("g10", "base_uvm"), scale="ci",
+            patches=(ConfigPatch(host_memory_bytes=GB),),
+        )
+        runner.run(patched)
+        assert runner.last_stats["cache_hits"] == 0
+        assert runner.last_stats["executed"] == 2
+
+    def test_corrupt_cache_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = SweepRunner(cache=cache)
+        cell = self.SPEC.cells[0]
+        runner.run([cell])
+        cache.path_for(cell.cache_key()).write_text("{not json", encoding="utf-8")
+        out = runner.run([cell])[0]
+        assert not out.cached
+
+    def test_identical_cells_execute_once(self, tmp_path):
+        cell = SweepCell(model="bert", policy="g10", scale="ci")
+        runner = SweepRunner(cache=ResultCache(tmp_path))
+        outs = runner.run([cell, dataclasses.replace(cell, seed=5), cell])
+        assert runner.last_stats["executed"] == 1
+        assert outs[0].payload == outs[1].payload == outs[2].payload
+
+    def test_cache_stats_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        SweepRunner(cache=cache).run(self.SPEC)
+        stats = cache.stats()
+        assert stats["entries"] == 2 and stats["bytes"] > 0
+        assert cache.clear() == 2
+        assert cache.stats()["entries"] == 0
+
+
+class TestCharacterizationCells:
+    def test_characterization_cell_matches_direct_analysis(self, bert_ci_workload):
+        out = SweepRunner().run_one(SweepCell(model="bert", policy=None, scale="ci"))
+        assert out.kind == "characterization"
+        direct = characterize_workload(bert_ci_workload.report)
+        char = out.characterization
+        assert np.allclose(char.total_fraction, direct.total_fraction)
+        assert np.allclose(char.inactive_period_seconds, direct.inactive_period_seconds)
+        assert char.mean_active_fraction == pytest.approx(direct.mean_active_fraction)
+
+    def test_simulation_accessor_guards_kind(self):
+        out = SweepRunner().run_one(SweepCell(model="bert", policy=None, scale="ci"))
+        with pytest.raises(ConfigurationError):
+            _ = out.result
+
+    def test_workload_metadata_present(self):
+        out = SweepRunner().run_one(SweepCell(model="bert", policy="g10", scale="ci"))
+        meta = out.workload
+        assert meta["model"] == "bert"
+        assert meta["num_kernels"] > 50
+        assert meta["memory_footprint_ratio"] > 1.0
+
+
+class TestExecuteCell:
+    def test_profiling_error_cell(self, bert_ci_workload):
+        payload = execute_cell(
+            SweepCell(model="bert", policy="g10", scale="ci", profiling_error=0.2, seed=5)
+        )
+        direct = run_policy(bert_ci_workload, "g10", profiling_error=0.2, seed=5)
+        assert SimulationResult.from_dict(payload["result"]) == direct
+
+    def test_patched_cell_simulates_under_patched_config(self):
+        # Zero host memory forces every eviction to flash: traffic must shift.
+        plain = SweepRunner().run_one(SweepCell(model="bert", policy="g10", scale="ci"))
+        patched = SweepRunner().run_one(
+            SweepCell(model="bert", policy="g10", scale="ci", patch=ConfigPatch(host_memory_bytes=0))
+        )
+        assert patched.result.traffic.gpu_host_bytes == 0
+        assert plain.result.traffic.gpu_host_bytes > 0

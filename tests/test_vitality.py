@@ -12,7 +12,7 @@ from repro.graph import expand_training
 from repro.profiling import profile_training_graph
 from repro.config import paper_config
 
-from conftest import build_tiny_mlp
+from helpers import build_tiny_mlp
 
 
 class TestAnalyzerBasics:
