@@ -6,11 +6,19 @@ Subcommands:
 * ``figure`` — reproduce a figure (2-4, 11-19), a table (table1/table2) or the
   §7.7 lifetime study, optionally writing a JSON artifact;
 * ``sweep``  — run a custom (models x policies x batches) grid;
-* ``cache``  — inspect or clear the on-disk result cache.
+* ``report`` — render *every* figure/table from the result cache into
+  Markdown + JSON artifacts (or warm one shard of the full grid);
+* ``cache``  — inspect, clear, or merge on-disk result caches.
 
 Every experiment honours ``--jobs`` (process-parallel fan-out) and the result
 cache under ``--cache-dir`` (default ``.repro_cache/``, or ``$REPRO_CACHE_DIR``);
 re-running any command is a cache hit. ``--no-cache`` forces re-execution.
+
+Paper-scale grids distribute across machines with ``--shard-index I
+--shard-count N``: each shard executes a deterministic, cache-key-owned slice
+of the grid into its own cache; ``repro cache merge`` combines the shard
+caches; and ``--resume`` (or ``repro report --expect-warm``) regenerates the
+figures incrementally from the merged cache, bit-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -19,9 +27,7 @@ import argparse
 import json
 import sys
 import time
-from typing import Callable, Sequence
-
-import numpy as np
+from typing import Sequence
 
 from .experiments import (
     ConfigPatch,
@@ -29,57 +35,22 @@ from .experiments import (
     SweepCell,
     SweepRunner,
     SweepSpec,
-    figure2_memory_consumption,
-    figure3_inactive_periods,
-    figure4_size_vs_inactive,
-    figure11_end_to_end,
-    figure12_breakdown,
-    figure13_kernel_slowdown,
-    figure14_traffic,
-    figure15_batch_sweep,
-    figure16_host_memory,
-    figure17_host_memory_compare,
-    figure18_ssd_bandwidth,
-    figure19_profiling_error,
+    combined_spec,
     format_table,
-    section77_ssd_lifetime,
-    table1_models,
+    generate_report,
+    get_experiment,
+    jsonify,
     table2_configuration,
+    warm_cache,
 )
+from .experiments.reporting import EXPERIMENT_ALIASES, EXPERIMENTS
 from .config import GB
-from .errors import ReproError
+from .errors import ConfigurationError, ReproError
 
-#: Experiment id -> (callable, accepts a ``models`` keyword).
-FIGURES: dict[str, tuple[Callable, bool]] = {
-    "2": (figure2_memory_consumption, False),
-    "3": (figure3_inactive_periods, False),
-    "4": (figure4_size_vs_inactive, False),
-    "11": (figure11_end_to_end, True),
-    "12": (figure12_breakdown, True),
-    "13": (figure13_kernel_slowdown, True),
-    "14": (figure14_traffic, True),
-    "15": (figure15_batch_sweep, True),
-    "16": (figure16_host_memory, True),
-    "17": (figure17_host_memory_compare, False),
-    "18": (figure18_ssd_bandwidth, True),
-    "19": (figure19_profiling_error, True),
-    "77": (section77_ssd_lifetime, True),
-    "lifetime": (section77_ssd_lifetime, True),
-    "table1": (table1_models, False),
-}
-
-
-def _jsonify(obj):
-    """Recursively convert numpy arrays/scalars so ``json.dump`` accepts them."""
-    if isinstance(obj, dict):
-        return {str(key): _jsonify(value) for key, value in obj.items()}
-    if isinstance(obj, (list, tuple)):
-        return [_jsonify(value) for value in obj]
-    if isinstance(obj, np.ndarray):
-        return obj.tolist()
-    if isinstance(obj, np.generic):
-        return obj.item()
-    return obj
+#: Ids accepted by ``repro figure`` (registry ids plus aliases).
+FIGURE_IDS: tuple[str, ...] = tuple(
+    sorted({e.id for e in EXPERIMENTS} | set(EXPERIMENT_ALIASES))
+)
 
 
 def _csv(text: str) -> list[str]:
@@ -87,12 +58,28 @@ def _csv(text: str) -> list[str]:
 
 
 def _make_runner(args: argparse.Namespace) -> SweepRunner:
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    cache = None if getattr(args, "no_cache", False) else ResultCache(args.cache_dir)
     return SweepRunner(jobs=args.jobs, cache=cache)
 
 
+def _shard_args(args: argparse.Namespace) -> tuple[int, int] | None:
+    index, count = getattr(args, "shard_index", None), getattr(args, "shard_count", None)
+    if index is None and count is None:
+        return None
+    if index is None or count is None:
+        raise ConfigurationError("--shard-index and --shard-count must be given together")
+    if getattr(args, "no_cache", False):
+        raise ConfigurationError("sharded execution requires the result cache (drop --no-cache)")
+    return index, count
+
+
+def _require_cache_for_resume(args: argparse.Namespace) -> None:
+    if args.resume and args.no_cache:
+        raise ConfigurationError("--resume requires the result cache (drop --no-cache)")
+
+
 def _emit(args: argparse.Namespace, results, as_table: bool = False) -> None:
-    payload = _jsonify(results)
+    payload = jsonify(results)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
@@ -106,10 +93,23 @@ def _emit(args: argparse.Namespace, results, as_table: bool = False) -> None:
 
 def _report_stats(label: str, runner: SweepRunner, elapsed: float) -> None:
     stats = runner.last_stats
+    shard = ""
+    if "shard_index" in stats:
+        shard = f", shard {stats['shard_index']}/{stats['shard_count']} ({stats['skipped']} skipped)"
     print(
         f"{label}: {stats['cells']} cells "
-        f"({stats['cache_hits']} cached, {stats['executed']} executed), "
+        f"({stats['cache_hits']} cached, {stats['executed']} executed){shard}, "
         f"jobs={runner.jobs or 1}, {elapsed:.2f}s",
+        file=sys.stderr,
+    )
+
+
+def _print_plan(label: str, runner: SweepRunner, spec: SweepSpec) -> None:
+    counts = runner.plan(spec).counts()
+    print(
+        f"{label}: resuming {counts['cells']} cells "
+        f"({counts['distinct']} distinct): {counts['warm']} warm, "
+        f"{counts['to_execute']} to execute",
         file=sys.stderr,
     )
 
@@ -141,22 +141,46 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
-    if args.id == "table2":
+    experiment = get_experiment(args.id)
+    models = None
+    if args.models:
+        if not experiment.supports_models:
+            print(f"figure {args.id} has a fixed workload set; --models ignored", file=sys.stderr)
+        else:
+            models = tuple(_csv(args.models))
+
+    shard = _shard_args(args)
+    if shard is not None:
+        # Warm one shard of the figure's grid into the cache; render nothing.
+        if args.output:
+            print("shard mode warms the cache without rendering; --output ignored",
+                  file=sys.stderr)
+        if experiment.spec is None:
+            print(f"figure {args.id} has no sweep cells; nothing to shard", file=sys.stderr)
+            return 0
+        runner = _make_runner(args)
+        spec = experiment.spec(args.scale, models)
+        start = time.monotonic()
+        runner.run(spec, shard_index=shard[0], shard_count=shard[1])
+        _report_stats(f"figure {args.id} [{args.scale}]", runner, time.monotonic() - start)
+        return 0
+
+    if experiment.id == "table2":
         _emit(args, [{"parameter": k, "value": v} for k, v in table2_configuration().items()],
               as_table=True)
         return 0
-    func, supports_models = FIGURES[args.id]
+
+    _require_cache_for_resume(args)
     runner = _make_runner(args)
     kwargs = {"scale": args.scale, "runner": runner}
-    if args.models:
-        if not supports_models:
-            print(f"figure {args.id} has a fixed workload set; --models ignored", file=sys.stderr)
-        else:
-            kwargs["models"] = tuple(_csv(args.models))
+    if models is not None:
+        kwargs["models"] = models
+    if args.resume and experiment.spec is not None:
+        _print_plan(f"figure {args.id}", runner, experiment.spec(args.scale, models))
     start = time.monotonic()
-    results = func(**kwargs)
+    results = experiment.render(**kwargs)
     _report_stats(f"figure {args.id} [{args.scale}]", runner, time.monotonic() - start)
-    _emit(args, results, as_table=args.id == "table1")
+    _emit(args, results, as_table=experiment.id == "table1")
     return 0
 
 
@@ -170,14 +194,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         scale=args.scale,
         profiling_errors=[float(e) for e in _csv(args.errors)] if args.errors else (0.0,),
     )
+    shard = _shard_args(args)
+    _require_cache_for_resume(args)
+    if args.resume and shard is None:
+        _print_plan("sweep", runner, spec)
     start = time.monotonic()
-    outs = runner.run(spec)
+    if shard is not None:
+        outs = runner.run(spec, shard_index=shard[0], shard_count=shard[1])
+    else:
+        outs = runner.run(spec)
     _report_stats(f"sweep ({len(spec.cells)} cells)", runner, time.monotonic() - start)
     rows = [out.result.summary() for out in outs]
     print(format_table(rows))
     if args.output:
         payload = [
-            {"cell": out.cell.to_dict(), "summary": _jsonify(row)}
+            {"cell": out.cell.to_dict(), "summary": jsonify(row)}
             for out, row in zip(outs, rows)
         ]
         with open(args.output, "w", encoding="utf-8") as fh:
@@ -186,17 +217,66 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    runner = _make_runner(args)
+    figures = _csv(args.figures) if args.figures else None
+    shard = _shard_args(args)
+    if shard is not None:
+        # Distributed mode: warm this shard's slice of the full report grid.
+        start = time.monotonic()
+        warm_cache(
+            scale=args.scale, figures=figures, runner=runner,
+            shard_index=shard[0], shard_count=shard[1],
+        )
+        _report_stats(f"report warm [{args.scale}]", runner, time.monotonic() - start)
+        return 0
+    _require_cache_for_resume(args)
+    if args.resume:
+        _print_plan("report", runner, combined_spec(args.scale, figures))
+    start = time.monotonic()
+    manifest = generate_report(
+        scale=args.scale,
+        figures=figures,
+        runner=runner,
+        output_dir=args.output_dir,
+        expect_warm=args.expect_warm,
+    )
+    totals = manifest["totals"]
+    print(
+        f"report [{args.scale}]: {len(manifest['figures'])} artifacts, "
+        f"{totals['cells']} cells ({totals['warm']} warm, {totals['recomputed']} recomputed), "
+        f"{time.monotonic() - start:.2f}s -> {args.output_dir}/report.md",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
+    if args.action != "merge" and args.sources:
+        raise ConfigurationError(
+            f"cache {args.action} takes no source directories "
+            f"(got {args.sources}); did you mean --cache-dir?"
+        )
     cache = ResultCache(args.cache_dir)
     if args.action == "info":
         stats = cache.stats()
         print(f"cache root : {stats['root']}")
         print(f"entries    : {stats['entries']}")
         print(f"size       : {stats['bytes'] / 1e6:.2f} MB")
+        print(f"stale tmp  : {stats['stale_tmp']} ({stats['stale_tmp_bytes']} bytes)")
     elif args.action == "clear":
         print(f"removed {cache.clear()} cached results")
     elif args.action == "path":
         print(cache.root)
+    elif args.action == "merge":
+        if not args.sources:
+            raise ConfigurationError("cache merge requires at least one source directory")
+        total = 0
+        for source in args.sources:
+            merged = cache.merge_from(ResultCache(source))
+            print(f"merged {merged} entries from {source}", file=sys.stderr)
+            total += merged
+        print(f"merged {total} entries into {cache.root}")
     return 0
 
 
@@ -209,8 +289,20 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="result cache directory (default: .repro_cache or $REPRO_CACHE_DIR)")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the on-disk result cache")
+
+
+def _add_output(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--output", default=None, metavar="FILE",
                         help="write results as a JSON artifact instead of stdout")
+
+
+def _add_shard(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--shard-index", type=int, default=None, metavar="I",
+                        help="execute only shard I of the grid (0-based; warms the cache)")
+    parser.add_argument("--shard-count", type=int, default=None, metavar="N",
+                        help="total number of shards the grid is split into")
+    parser.add_argument("--resume", action="store_true",
+                        help="report the warm/missing plan before running; requires the cache")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -229,14 +321,17 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--ssd-bandwidth-gbs", type=float, default=None,
                      help="override SSD read bandwidth (GB/s, write scaled proportionally)")
     _add_common(run)
+    _add_output(run)
     run.set_defaults(func=_cmd_run)
 
     figure = sub.add_parser("figure", help="reproduce a figure or table of the paper")
-    figure.add_argument("id", choices=sorted(FIGURES) + ["table2"],
+    figure.add_argument("id", choices=FIGURE_IDS,
                         help="figure number, table1/table2, or lifetime (§7.7)")
     figure.add_argument("--models", default=None,
                         help="comma-separated model subset (figures that sweep models)")
     _add_common(figure)
+    _add_output(figure)
+    _add_shard(figure)
     figure.set_defaults(func=_cmd_figure)
 
     sweep = sub.add_parser("sweep", help="run a custom model x policy x batch grid")
@@ -245,10 +340,27 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--batches", default=None, help="comma-separated batch sizes")
     sweep.add_argument("--errors", default=None, help="comma-separated profiling error levels")
     _add_common(sweep)
+    _add_output(sweep)
+    _add_shard(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
-    cache = sub.add_parser("cache", help="inspect or clear the result cache")
-    cache.add_argument("action", choices=("info", "clear", "path"))
+    report = sub.add_parser(
+        "report", help="render every figure/table from the cache (Markdown + JSON)"
+    )
+    report.add_argument("--figures", default=None, metavar="IDS",
+                        help="comma-separated experiment ids (default: all)")
+    report.add_argument("--output-dir", default="report", metavar="DIR",
+                        help="artifact directory (default: report/)")
+    report.add_argument("--expect-warm", action="store_true",
+                        help="fail if any cell had to be recomputed (CI resume contract)")
+    _add_common(report)
+    _add_shard(report)
+    report.set_defaults(func=_cmd_report)
+
+    cache = sub.add_parser("cache", help="inspect, clear, or merge result caches")
+    cache.add_argument("action", choices=("info", "clear", "path", "merge"))
+    cache.add_argument("sources", nargs="*", metavar="SRC",
+                       help="shard cache directories to merge into --cache-dir (merge only)")
     cache.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="result cache directory (default: .repro_cache or $REPRO_CACHE_DIR)")
     cache.set_defaults(func=_cmd_cache)

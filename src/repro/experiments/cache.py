@@ -10,15 +10,22 @@ the simulator source itself: after editing simulation code within one package
 version, run ``repro cache clear`` (or pass ``--no-cache``) to avoid serving
 results computed by the old code.
 
+Writes are atomic (temp file + rename), so a reader never observes a partial
+entry. A writer that is killed mid-write leaves a ``*.tmp.<pid>`` file behind;
+those stale temporaries never shadow a real entry, are counted by
+:meth:`ResultCache.stats` and swept by :meth:`ResultCache.clear`.
+
 The default cache root is ``.repro_cache/`` in the current working directory,
 overridable with the ``REPRO_CACHE_DIR`` environment variable or an explicit
-path.
+path. Shard caches produced by distributed sweeps are combined with
+:meth:`ResultCache.merge_from` (``repro cache merge``).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import re
 import shutil
 from pathlib import Path
 
@@ -50,35 +57,108 @@ class ResultCache:
         try:
             with path.open("r", encoding="utf-8") as fh:
                 entry = json.load(fh)
-        except (OSError, json.JSONDecodeError):
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
             return None
-        if entry.get("schema") != CACHE_SCHEMA_VERSION:
+        if not isinstance(entry, dict) or entry.get("schema") != CACHE_SCHEMA_VERSION:
             return None
-        return entry.get("payload")
+        payload = entry.get("payload")
+        return payload if isinstance(payload, dict) else None
+
+    def has(self, key: str) -> bool:
+        """Whether ``key`` would be a hit, without parsing the whole payload.
+
+        Sniffs the entry's schema header (and that the file ends like a JSON
+        object) instead of decoding megabytes of kernel timings; anything
+        inconclusive falls back to a full :meth:`get`. Used by
+        :class:`~repro.experiments.sweep.SweepPlan` to classify every cell of
+        a paper-scale grid cheaply. :meth:`get` stays authoritative: in the
+        rare case of an entry corrupted *after* a valid header, ``has`` may
+        say warm while the subsequent read misses and recomputes.
+        """
+        path = self.path_for(key)
+        try:
+            with path.open("rb") as fh:
+                head = fh.read(64)
+                fh.seek(0, os.SEEK_END)
+                if fh.tell() <= 64:
+                    tail = head[-1:]
+                else:
+                    fh.seek(-1, os.SEEK_END)
+                    tail = fh.read(1)
+        except OSError:
+            return False
+        match = re.match(rb'\{"schema":\s*(-?\d+)\s*[,}]', head)
+        if match is None:
+            return self.get(key) is not None
+        return int(match.group(1)) == CACHE_SCHEMA_VERSION and tail == b"}"
 
     def put(self, key: str, payload: dict, cell: dict | None = None) -> Path:
-        """Persist a payload atomically (write to a temp file, then rename)."""
+        """Persist a payload atomically (write to a temp file, then rename).
+
+        On any write failure the temp file is removed before re-raising, so a
+        crashed *in-process* writer cannot leak ``*.tmp.<pid>`` files; only a
+        killed process can, and those are reclaimed by :meth:`clear`.
+        """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {"schema": CACHE_SCHEMA_VERSION, "key": key, "cell": cell, "payload": payload}
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        with tmp.open("w", encoding="utf-8") as fh:
-            json.dump(entry, fh, separators=(",", ":"))
-        tmp.replace(path)
+        try:
+            with tmp.open("w", encoding="utf-8") as fh:
+                json.dump(entry, fh, separators=(",", ":"))
+            tmp.replace(path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
         return path
 
+    def merge_from(self, other: "ResultCache") -> int:
+        """Copy every entry of ``other`` that this cache is missing.
+
+        Used to combine the per-shard caches of a distributed sweep into one
+        warm cache. Entries are copied verbatim (keys are content hashes, so
+        equal keys hold equal payloads); stale temp files are never copied.
+        Returns the number of entries merged.
+        """
+        merged = 0
+        for src in sorted(other.root.glob("*/*.json")):
+            dst = self.root / src.parent.name / src.name
+            if dst.exists():
+                continue
+            dst.parent.mkdir(parents=True, exist_ok=True)
+            tmp = dst.with_suffix(f".tmp.{os.getpid()}")
+            try:
+                shutil.copyfile(src, tmp)
+                tmp.replace(dst)
+            except BaseException:
+                tmp.unlink(missing_ok=True)
+                raise
+            merged += 1
+        return merged
+
+    def _stale_tmp_files(self) -> list[Path]:
+        """Temp files abandoned by killed writers (``<key>.tmp.<pid>``)."""
+        return sorted(self.root.glob("*/*.tmp.*"))
+
     def clear(self) -> int:
-        """Delete every cache entry; returns the number of entries removed."""
+        """Delete every cache entry *and* sweep stale temp files.
+
+        Returns the number of real entries removed (stale temp files are
+        reclaimed too, but not counted as entries).
+        """
         removed = len(list(self.root.glob("*/*.json")))
         if self.root.exists():
             shutil.rmtree(self.root)
         return removed
 
     def stats(self) -> dict[str, object]:
-        """Entry count, total size in bytes, and the cache root path."""
+        """Entry count, total size, stale temp files, and the cache root."""
         entries = list(self.root.glob("*/*.json"))
+        stale = self._stale_tmp_files()
         return {
             "root": str(self.root),
             "entries": len(entries),
             "bytes": sum(p.stat().st_size for p in entries),
+            "stale_tmp": len(stale),
+            "stale_tmp_bytes": sum(p.stat().st_size for p in stale),
         }

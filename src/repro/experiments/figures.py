@@ -79,6 +79,92 @@ def _characterization_spec(name: str, scale: str) -> SweepSpec:
     )
 
 
+# --------------------------------------------------------------------- specs
+# One builder per experiment, mirroring the figure functions below but
+# producing only the grid. The builders are what make figures shardable and
+# resumable: ``repro figure N --shard-index i --shard-count n`` executes one
+# shard of the spec into the cache, and the figure function later renders the
+# same spec entirely from warm entries. Every builder accepts ``models=None``
+# for its default workload set; fixed-workload figures ignore the argument.
+
+def figure2_spec(scale: str = "paper", models: Sequence[str] | None = None) -> SweepSpec:
+    return _characterization_spec("figure2", scale)
+
+
+def figure3_spec(scale: str = "paper", models: Sequence[str] | None = None) -> SweepSpec:
+    return _characterization_spec("figure3", scale)
+
+
+def figure4_spec(scale: str = "paper", models: Sequence[str] | None = None) -> SweepSpec:
+    return _characterization_spec("figure4", scale)
+
+
+def figure11_spec(scale: str = "paper", models: Sequence[str] | None = None) -> SweepSpec:
+    return SweepSpec.grid(
+        "figure11",
+        models=tuple(models) if models else FIGURE11_MODELS,
+        policies=EVALUATED_POLICIES,
+        scale=scale,
+    )
+
+
+def _breakdown_spec(name: str, scale: str, models: Sequence[str] | None) -> SweepSpec:
+    return SweepSpec.grid(
+        name,
+        models=tuple(models) if models else FIGURE11_MODELS,
+        policies=BREAKDOWN_POLICIES,
+        scale=scale,
+    )
+
+
+def figure12_spec(scale: str = "paper", models: Sequence[str] | None = None) -> SweepSpec:
+    return _breakdown_spec("figure12", scale, models)
+
+
+def figure13_spec(scale: str = "paper", models: Sequence[str] | None = None) -> SweepSpec:
+    return _breakdown_spec("figure13", scale, models)
+
+
+def figure14_spec(scale: str = "paper", models: Sequence[str] | None = None) -> SweepSpec:
+    return _breakdown_spec("figure14", scale, models)
+
+
+def figure15_spec(
+    scale: str = "paper",
+    models: Sequence[str] | None = None,
+    policies: Sequence[str] = ("base_uvm", "flashneuron", "deepum", "g10", "ideal"),
+) -> SweepSpec:
+    return SweepSpec("figure15", _figure15_cells(scale, models or FIGURE11_MODELS, policies))
+
+
+def figure16_spec(scale: str = "paper", models: Sequence[str] | None = None) -> SweepSpec:
+    cells, _ = _figure16_cells(scale, models or FIGURE11_MODELS, FIGURE16_HOST_MEMORY_GB)
+    return SweepSpec("figure16", cells)
+
+
+def figure17_spec(scale: str = "paper", models: Sequence[str] | None = None) -> SweepSpec:
+    cells, _ = _figure17_cells(scale, (0, 32, 64, 128, 256))
+    return SweepSpec("figure17", cells)
+
+
+def figure18_spec(scale: str = "paper", models: Sequence[str] | None = None) -> SweepSpec:
+    cells, _ = _figure18_cells(scale, models or FIGURE11_MODELS, FIGURE18_SSD_BANDWIDTH_GBS)
+    return SweepSpec("figure18", cells)
+
+
+def figure19_spec(scale: str = "paper", models: Sequence[str] | None = None) -> SweepSpec:
+    return SweepSpec("figure19", _figure19_cells(scale, models or FIGURE11_MODELS, FIGURE19_ERRORS))
+
+
+def section77_spec(scale: str = "paper", models: Sequence[str] | None = None) -> SweepSpec:
+    return SweepSpec.grid(
+        "section77",
+        models=tuple(models) if models else FIGURE11_MODELS,
+        policies=("flashneuron", "deepum", "g10"),
+        scale=scale,
+    )
+
+
 def _scaled_host_memory(capacity_gb: int, model: str, scale: str) -> int:
     """A Figure 16/17 host-memory set point, shrunk for CI-scale systems so
     the capacity sweep covers the same relative range as at paper scale."""
@@ -86,6 +172,96 @@ def _scaled_host_memory(capacity_gb: int, model: str, scale: str) -> int:
     if scale == "ci":
         capacity = int(capacity * default_config(model, scale).host_memory_bytes / (128 * GB))
     return capacity
+
+
+def _figure15_cells(
+    scale: str, models: Sequence[str], policies: Sequence[str]
+) -> tuple[SweepCell, ...]:
+    cells = []
+    for model in models:
+        try:
+            batches = FIGURE15_BATCHES[normalize_model_name(model)]
+        except KeyError:
+            raise ConfigurationError(
+                f"no Figure 15 batch sweep for model {model!r}; "
+                f"available: {sorted(FIGURE15_BATCHES)}"
+            ) from None
+        for batch in (scale_batch(b, scale) for b in batches):
+            cells.extend(
+                SweepCell(model=model, policy=policy, batch_size=batch, scale=scale)
+                for policy in policies
+            )
+    return tuple(cells)
+
+
+def _figure16_cells(
+    scale: str, models: Sequence[str], host_memory_gb: Sequence[int]
+) -> tuple[tuple[SweepCell, ...], list[int]]:
+    cells = []
+    labels: list[int] = []
+    for model in models:
+        for capacity_gb in host_memory_gb:
+            cells.append(
+                SweepCell(
+                    model=model,
+                    policy="g10",
+                    scale=scale,
+                    patch=ConfigPatch(host_memory_bytes=_scaled_host_memory(capacity_gb, model, scale)),
+                )
+            )
+            labels.append(capacity_gb)
+    return tuple(cells), labels
+
+
+def _figure17_cells(
+    scale: str, host_memory_gb: Sequence[int]
+) -> tuple[tuple[SweepCell, ...], list[tuple[int, str]]]:
+    cases = {"vit": 1024, "inceptionv3": 1280}
+    policies = ("deepum", "flashneuron", "g10")
+    cells = []
+    labels: list[tuple[int, str]] = []
+    for model, batch in cases.items():
+        for capacity_gb in host_memory_gb:
+            patch = ConfigPatch(host_memory_bytes=_scaled_host_memory(capacity_gb, model, scale))
+            for policy in policies:
+                cells.append(
+                    SweepCell(
+                        model=model,
+                        policy=policy,
+                        batch_size=scale_batch(batch, scale),
+                        scale=scale,
+                        patch=patch,
+                    )
+                )
+                labels.append((capacity_gb, policy))
+    return tuple(cells), labels
+
+
+def _figure18_cells(
+    scale: str, models: Sequence[str], bandwidths_gbs: Sequence[float]
+) -> tuple[tuple[SweepCell, ...], list[tuple[float, str]]]:
+    cells = []
+    labels: list[tuple[float, str]] = []
+    for model in models:
+        for bandwidth in bandwidths_gbs:
+            patch = ConfigPatch(interconnect_bandwidth=32 * GB, ssd_read_bandwidth=bandwidth * GB)
+            for policy in BREAKDOWN_POLICIES:
+                cells.append(SweepCell(model=model, policy=policy, scale=scale, patch=patch))
+                labels.append((bandwidth, policy))
+    return tuple(cells), labels
+
+
+def _figure19_cells(
+    scale: str, models: Sequence[str], errors: Sequence[float]
+) -> tuple[SweepCell, ...]:
+    cells = []
+    for model in models:
+        cells.append(SweepCell(model=model, policy="g10", scale=scale))
+        cells.extend(
+            SweepCell(model=model, policy="g10", scale=scale, profiling_error=error, seed=17)
+            for error in errors
+        )
+    return tuple(cells)
 
 
 # --------------------------------------------------------------------------- §3
@@ -136,7 +312,7 @@ def figure11_end_to_end(
     runner: SweepRunner | None = None,
 ) -> dict[str, dict[str, float]]:
     """Figure 11: training throughput of every design, normalised to ideal."""
-    spec = SweepSpec.grid("figure11", models=models, policies=EVALUATED_POLICIES, scale=scale)
+    spec = figure11_spec(scale, models)
     results: dict[str, dict[str, float]] = {}
     for out in _run(spec, runner):
         per_model = results.setdefault(out.workload["model"], {})
@@ -151,7 +327,7 @@ def figure12_breakdown(
     runner: SweepRunner | None = None,
 ) -> dict[str, dict[str, dict[str, float]]]:
     """Figure 12: overlapped-compute vs stall fraction of each design."""
-    spec = SweepSpec.grid("figure12", models=models, policies=BREAKDOWN_POLICIES, scale=scale)
+    spec = figure12_spec(scale, models)
     results: dict[str, dict[str, dict[str, float]]] = {}
     for out in _run(spec, runner):
         run = out.result
@@ -168,7 +344,7 @@ def figure13_kernel_slowdown(
     runner: SweepRunner | None = None,
 ) -> dict[str, dict[str, np.ndarray]]:
     """Figure 13: per-kernel slowdown distributions (sorted descending)."""
-    spec = SweepSpec.grid("figure13", models=models, policies=BREAKDOWN_POLICIES, scale=scale)
+    spec = figure13_spec(scale, models)
     results: dict[str, dict[str, np.ndarray]] = {}
     for out in _run(spec, runner):
         results.setdefault(out.workload["model"], {})[out.cell.policy] = np.sort(
@@ -183,7 +359,7 @@ def figure14_traffic(
     runner: SweepRunner | None = None,
 ) -> dict[str, dict[str, dict[str, float]]]:
     """Figure 14: GPU-SSD vs GPU-Host migration traffic per design."""
-    spec = SweepSpec.grid("figure14", models=models, policies=BREAKDOWN_POLICIES, scale=scale)
+    spec = figure14_spec(scale, models)
     results: dict[str, dict[str, dict[str, float]]] = {}
     for out in _run(spec, runner):
         breakdown = traffic_breakdown(out.result)
@@ -204,23 +380,8 @@ def figure15_batch_sweep(
     runner: SweepRunner | None = None,
 ) -> dict[str, dict[int, dict[str, float]]]:
     """Figure 15: training throughput (samples/s) across batch sizes."""
-    cells = []
-    for model in models:
-        try:
-            batches = FIGURE15_BATCHES[normalize_model_name(model)]
-        except KeyError:
-            raise ConfigurationError(
-                f"no Figure 15 batch sweep for model {model!r}; "
-                f"available: {sorted(FIGURE15_BATCHES)}"
-            ) from None
-        batches = tuple(scale_batch(b, scale) for b in batches)
-        for batch in batches:
-            cells.extend(
-                SweepCell(model=model, policy=policy, batch_size=batch, scale=scale)
-                for policy in policies
-            )
     results: dict[str, dict[int, dict[str, float]]] = {}
-    for out in _run(SweepSpec("figure15", tuple(cells)), runner):
+    for out in _run(figure15_spec(scale, models, policies), runner):
         per_model = results.setdefault(out.workload["model"], {})
         per_batch = per_model.setdefault(out.workload["batch_size"], {})
         per_batch[out.cell.policy] = out.result.throughput()
@@ -235,21 +396,9 @@ def figure16_host_memory(
     runner: SweepRunner | None = None,
 ) -> dict[str, dict[int, float]]:
     """Figure 16: G10 execution time as host memory capacity varies."""
-    cells = []
-    labels = []
-    for model in models:
-        for capacity_gb in host_memory_gb:
-            cells.append(
-                SweepCell(
-                    model=model,
-                    policy="g10",
-                    scale=scale,
-                    patch=ConfigPatch(host_memory_bytes=_scaled_host_memory(capacity_gb, model, scale)),
-                )
-            )
-            labels.append(capacity_gb)
+    cells, labels = _figure16_cells(scale, models, host_memory_gb)
     results: dict[str, dict[int, float]] = {}
-    for out, capacity_gb in zip(_run(SweepSpec("figure16", tuple(cells)), runner), labels):
+    for out, capacity_gb in zip(_run(SweepSpec("figure16", cells), runner), labels):
         results.setdefault(out.workload["model"], {})[capacity_gb] = out.result.execution_time
     return results
 
@@ -260,26 +409,9 @@ def figure17_host_memory_compare(
     runner: SweepRunner | None = None,
 ) -> dict[str, dict[int, dict[str, float]]]:
     """Figure 17: G10 vs DeepUM+ vs FlashNeuron across host memory capacities."""
-    cases = {"vit": 1024, "inceptionv3": 1280}
-    policies = ("deepum", "flashneuron", "g10")
-    cells = []
-    labels: list[tuple[int, str]] = []
-    for model, batch in cases.items():
-        for capacity_gb in host_memory_gb:
-            patch = ConfigPatch(host_memory_bytes=_scaled_host_memory(capacity_gb, model, scale))
-            for policy in policies:
-                cells.append(
-                    SweepCell(
-                        model=model,
-                        policy=policy,
-                        batch_size=scale_batch(batch, scale),
-                        scale=scale,
-                        patch=patch,
-                    )
-                )
-                labels.append((capacity_gb, policy))
+    cells, labels = _figure17_cells(scale, host_memory_gb)
     results: dict[str, dict[int, dict[str, float]]] = {}
-    for out, (capacity_gb, policy) in zip(_run(SweepSpec("figure17", tuple(cells)), runner), labels):
+    for out, (capacity_gb, policy) in zip(_run(SweepSpec("figure17", cells), runner), labels):
         per_model = results.setdefault(out.workload["model"], {})
         per_model.setdefault(capacity_gb, {})[policy] = out.result.execution_time
     return results
@@ -293,16 +425,9 @@ def figure18_ssd_bandwidth(
     runner: SweepRunner | None = None,
 ) -> dict[str, dict[float, dict[str, float]]]:
     """Figure 18: normalised performance as SSD bandwidth scales (PCIe 4.0 host link)."""
-    cells = []
-    labels = []
-    for model in models:
-        for bandwidth in bandwidths_gbs:
-            patch = ConfigPatch(interconnect_bandwidth=32 * GB, ssd_read_bandwidth=bandwidth * GB)
-            for policy in BREAKDOWN_POLICIES:
-                cells.append(SweepCell(model=model, policy=policy, scale=scale, patch=patch))
-                labels.append((bandwidth, policy))
+    cells, labels = _figure18_cells(scale, models, bandwidths_gbs)
     results: dict[str, dict[float, dict[str, float]]] = {}
-    for out, (bandwidth, policy) in zip(_run(SweepSpec("figure18", tuple(cells)), runner), labels):
+    for out, (bandwidth, policy) in zip(_run(SweepSpec("figure18", cells), runner), labels):
         per_model = results.setdefault(out.workload["model"], {})
         per_model.setdefault(bandwidth, {})[policy] = out.result.normalized_performance
     return results
@@ -319,14 +444,7 @@ def figure19_profiling_error(
 
     Values are normalised to the error-free G10 run (1.0 means no degradation).
     """
-    cells = []
-    for model in models:
-        cells.append(SweepCell(model=model, policy="g10", scale=scale))
-        cells.extend(
-            SweepCell(model=model, policy="g10", scale=scale, profiling_error=error, seed=17)
-            for error in errors
-        )
-    outs = iter(_run(SweepSpec("figure19", tuple(cells)), runner))
+    outs = iter(_run(SweepSpec("figure19", _figure19_cells(scale, models, errors)), runner))
     results: dict[str, dict[float, float]] = {}
     for model in models:
         baseline_out = next(outs)
@@ -348,8 +466,7 @@ def section77_ssd_lifetime(
     runner: SweepRunner | None = None,
 ) -> dict[str, dict[str, float]]:
     """§7.7: projected SSD lifetime (years) and write traffic per design."""
-    policies = ("flashneuron", "deepum", "g10")
-    spec = SweepSpec.grid("section77", models=models, policies=policies, scale=scale)
+    spec = section77_spec(scale, models)
     results: dict[str, dict[str, float]] = {}
     for out in _run(spec, runner):
         per_model = results.setdefault(out.workload["model"], {})

@@ -1,8 +1,76 @@
-"""Plain-text rendering of experiment results (the harness prints, never plots)."""
+"""Cache-aware report generation: every figure/table as Markdown + JSON.
+
+This module owns the canonical registry of the paper's experiments
+(:data:`EXPERIMENTS`) — each entry pairs the figure's render function with the
+:class:`~repro.experiments.sweep.SweepSpec` builder behind it — and two entry
+points built on it:
+
+* :func:`warm_cache` — execute one shard of the union of every experiment's
+  grid into the result cache (the distributed half of a paper-scale sweep);
+* :func:`generate_report` — render every figure and table straight from the
+  (ideally warm) cache into ``<output_dir>/<id>.json`` artifacts plus a
+  ``report.md``/``report.json`` pair whose provenance tables say, cell by
+  cell, which results were served warm and which had to be recomputed.
+
+Because each figure is planned against the cache *before* it is rendered, the
+report doubles as a determinism audit: after a sharded sweep whose caches were
+merged, ``generate_report(expect_warm=True)`` proves that regenerating every
+figure required zero simulation.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError, ReproError
+from .sweep import SweepPlan, SweepRunner, SweepSpec
+from .figures import (
+    figure2_memory_consumption,
+    figure2_spec,
+    figure3_inactive_periods,
+    figure3_spec,
+    figure4_size_vs_inactive,
+    figure4_spec,
+    figure11_end_to_end,
+    figure11_spec,
+    figure12_breakdown,
+    figure12_spec,
+    figure13_kernel_slowdown,
+    figure13_spec,
+    figure14_traffic,
+    figure14_spec,
+    figure15_batch_sweep,
+    figure15_spec,
+    figure16_host_memory,
+    figure16_spec,
+    figure17_host_memory_compare,
+    figure17_spec,
+    figure18_ssd_bandwidth,
+    figure18_spec,
+    figure19_profiling_error,
+    figure19_spec,
+    section77_spec,
+    section77_ssd_lifetime,
+)
+from .tables import table1_models, table1_spec, table2_configuration
+
+
+def jsonify(obj):
+    """Recursively convert numpy arrays/scalars so ``json.dump`` accepts them."""
+    if isinstance(obj, dict):
+        return {str(key): jsonify(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [jsonify(value) for value in obj]
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, np.generic):
+        return obj.item()
+    return obj
 
 
 def format_table(
@@ -47,4 +115,299 @@ def format_table(
     ]
     for row in rendered:
         lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    rows: Iterable[Mapping[str, object]] | Iterable[Sequence[object]],
+    headers: Sequence[str] | None = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render rows as a GitHub-flavoured Markdown table."""
+    materialized = list(rows)
+    if not materialized:
+        return "*(no rows)*"
+    if isinstance(materialized[0], Mapping):
+        if headers is None:
+            headers = list(materialized[0].keys())
+        table_rows = [[row.get(h, "") for h in headers] for row in materialized]
+    else:
+        if headers is None:
+            raise ValueError("headers are required when rows are plain sequences")
+        table_rows = [list(row) for row in materialized]
+
+    def render(value: object) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value).replace("|", "\\|")
+
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |"]
+    lines.append("| " + " | ".join("---" for _ in headers) + " |")
+    for row in table_rows:
+        lines.append("| " + " | ".join(render(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible artifact of the paper: a renderer plus its sweep spec.
+
+    ``spec`` is ``None`` for artifacts with no simulation behind them
+    (Table 2 is pure configuration); those can never be sharded and are always
+    "warm". ``render`` takes ``(scale, runner)`` plus an optional ``models``
+    subset when ``supports_models`` is set.
+    """
+
+    id: str
+    title: str
+    render: Callable
+    spec: Callable[..., SweepSpec] | None = None
+    supports_models: bool = False
+
+
+def _render_table2(scale: str = "paper", runner: SweepRunner | None = None):
+    return table2_configuration()
+
+
+#: Every figure/table of the reproduction, in the paper's order.
+EXPERIMENTS: tuple[Experiment, ...] = (
+    Experiment("2", "Figure 2 — memory consumption", figure2_memory_consumption, figure2_spec),
+    Experiment("3", "Figure 3 — inactive periods", figure3_inactive_periods, figure3_spec),
+    Experiment("4", "Figure 4 — size vs inactivity", figure4_size_vs_inactive, figure4_spec),
+    Experiment("11", "Figure 11 — end-to-end performance", figure11_end_to_end, figure11_spec, True),
+    Experiment("12", "Figure 12 — overlap/stall breakdown", figure12_breakdown, figure12_spec, True),
+    Experiment("13", "Figure 13 — per-kernel slowdown", figure13_kernel_slowdown, figure13_spec, True),
+    Experiment("14", "Figure 14 — migration traffic", figure14_traffic, figure14_spec, True),
+    Experiment("15", "Figure 15 — batch-size sweep", figure15_batch_sweep, figure15_spec, True),
+    Experiment("16", "Figure 16 — host-memory sensitivity", figure16_host_memory, figure16_spec, True),
+    Experiment("17", "Figure 17 — host-memory comparison", figure17_host_memory_compare, figure17_spec),
+    Experiment("18", "Figure 18 — SSD-bandwidth scaling", figure18_ssd_bandwidth, figure18_spec, True),
+    Experiment("19", "Figure 19 — profiling-error robustness", figure19_profiling_error, figure19_spec, True),
+    Experiment("lifetime", "§7.7 — SSD lifetime", section77_ssd_lifetime, section77_spec, True),
+    Experiment("table1", "Table 1 — model zoo", table1_models, table1_spec),
+    Experiment("table2", "Table 2 — system configuration", _render_table2, None),
+)
+
+#: Alternate spellings accepted by the CLI and report generator.
+EXPERIMENT_ALIASES: dict[str, str] = {"77": "lifetime"}
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up an experiment by id (``"11"``, ``"table1"``, ``"77"``, ...)."""
+    canonical = EXPERIMENT_ALIASES.get(experiment_id, experiment_id)
+    for experiment in EXPERIMENTS:
+        if experiment.id == canonical:
+            return experiment
+    raise ConfigurationError(
+        f"unknown experiment {experiment_id!r}; "
+        f"available: {[e.id for e in EXPERIMENTS]}"
+    )
+
+
+def _resolve(figures: Sequence[str] | None) -> list[Experiment]:
+    if figures is None:
+        return list(EXPERIMENTS)
+    resolved = [get_experiment(fid) for fid in figures]
+    seen: set[str] = set()
+    unique = []
+    for experiment in resolved:
+        if experiment.id not in seen:
+            seen.add(experiment.id)
+            unique.append(experiment)
+    return unique
+
+
+def combined_spec(
+    scale: str = "paper", figures: Sequence[str] | None = None
+) -> SweepSpec:
+    """The union grid of every selected experiment, in report order.
+
+    Duplicate cells across figures keep their first position, so the combined
+    spec shards exactly like the per-figure specs would, workload-locality
+    included.
+    """
+    cells = []
+    for experiment in _resolve(figures):
+        if experiment.spec is not None:
+            cells.extend(experiment.spec(scale).cells)
+    return SweepSpec(name="report", cells=tuple(cells))
+
+
+def warm_cache(
+    scale: str = "ci",
+    figures: Sequence[str] | None = None,
+    runner: SweepRunner | None = None,
+    shard_index: int = 0,
+    shard_count: int = 1,
+) -> dict[str, int]:
+    """Execute one shard of the full report grid into the runner's cache.
+
+    This is the distributed half of a paper-scale sweep: N invocations with
+    ``shard_index = 0..N-1`` (each against its own cache directory, later
+    combined with ``repro cache merge``) together warm every cell the report
+    needs, and :func:`generate_report` then renders figures without running a
+    single simulation. Returns the runner's ``last_stats``.
+    """
+    runner = runner or SweepRunner()
+    if runner.cache is None:
+        raise ConfigurationError("warm_cache requires a runner with a cache")
+    runner.run(combined_spec(scale, figures), shard_index=shard_index, shard_count=shard_count)
+    return dict(runner.last_stats)
+
+
+def _provenance(plan: SweepPlan) -> list[dict[str, object]]:
+    rows = []
+    for entry in plan.entries:
+        cell = entry.cell.resolved()
+        rows.append(
+            {
+                "model": cell.model,
+                "policy": cell.policy if cell.policy is not None else "(characterize)",
+                "batch": cell.batch_size,
+                "key": entry.key[:12],
+                "status": "warm" if entry.cached else "recomputed",
+            }
+        )
+    return rows
+
+
+def generate_report(
+    scale: str = "ci",
+    figures: Sequence[str] | None = None,
+    runner: SweepRunner | None = None,
+    output_dir: str | Path = "report",
+    expect_warm: bool = False,
+) -> dict:
+    """Render every selected experiment from the cache into an artifact tree.
+
+    For each experiment the figure's spec is first *planned* against the
+    runner's cache (recording, per cell, whether the result is already warm)
+    and then rendered — executing only the misses — into
+    ``<output_dir>/<id>.json``. The manifest of all plans is written to
+    ``report.json`` and a human-readable ``report.md`` summarises warm vs
+    recomputed counts per figure, with per-cell provenance tables.
+
+    With ``expect_warm=True`` a :class:`~repro.errors.ReproError` is raised
+    (after all artifacts are written, so the report can be inspected) if any
+    cell had to be recomputed — the CI contract that incremental figure
+    regeneration really was served by the merged shard caches.
+    """
+    runner = runner or SweepRunner()
+    output_dir = Path(output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+
+    manifest: dict = {"scale": scale, "figures": []}
+    if runner.cache is not None:
+        manifest["cache_root"] = str(runner.cache.root)
+
+    for experiment in _resolve(figures):
+        entry: dict = {"id": experiment.id, "title": experiment.title}
+        if experiment.spec is not None:
+            plan = runner.plan(experiment.spec(scale))
+            entry.update(plan.counts())
+            entry["provenance"] = _provenance(plan)
+        else:
+            entry.update({"cells": 0, "distinct": 0, "warm": 0, "to_execute": 0})
+            entry["provenance"] = []
+        payload = jsonify(experiment.render(scale=scale, runner=runner))
+        artifact = output_dir / f"{artifact_name(experiment.id)}.json"
+        with artifact.open("w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        entry["artifact"] = artifact.name
+        entry["payload"] = payload if experiment.id in ("table1", "table2") else None
+        manifest["figures"].append(entry)
+
+    totals = {
+        "cells": sum(f["cells"] for f in manifest["figures"]),
+        "distinct": sum(f["distinct"] for f in manifest["figures"]),
+        "warm": sum(f["warm"] for f in manifest["figures"]),
+        "recomputed": sum(f["to_execute"] for f in manifest["figures"]),
+    }
+    manifest["totals"] = totals
+
+    with (output_dir / "report.json").open("w", encoding="utf-8") as fh:
+        json.dump(_manifest_json(manifest), fh, indent=2, sort_keys=True)
+    (output_dir / "report.md").write_text(render_report_markdown(manifest), encoding="utf-8")
+
+    if expect_warm and totals["recomputed"] > 0:
+        cold = [f["id"] for f in manifest["figures"] if f["to_execute"] > 0]
+        raise ReproError(
+            f"expected a fully warm cache but {totals['recomputed']} cell(s) "
+            f"were recomputed (figures: {', '.join(cold)})"
+        )
+    return manifest
+
+
+def artifact_name(experiment_id: str) -> str:
+    """Basename (sans extension) of an experiment's JSON artifact/golden file."""
+    return experiment_id if experiment_id.startswith(("table", "lifetime")) else f"figure{experiment_id}"
+
+
+def _manifest_json(manifest: dict) -> dict:
+    """The manifest without embedded payload copies (artifacts hold those)."""
+    slim = dict(manifest)
+    slim["figures"] = [
+        {key: value for key, value in figure.items() if key != "payload"}
+        for figure in manifest["figures"]
+    ]
+    return slim
+
+
+def render_report_markdown(manifest: dict) -> str:
+    """The ``report.md`` body for a :func:`generate_report` manifest."""
+    totals = manifest["totals"]
+    lines = [
+        f"# Reproduction report (scale={manifest['scale']})",
+        "",
+        f"{totals['cells']} sweep cells ({totals['distinct']} distinct) across "
+        f"{len(manifest['figures'])} artifacts: "
+        f"**{totals['warm']} served warm** from the result cache, "
+        f"**{totals['recomputed']} recomputed**.",
+    ]
+    if "cache_root" in manifest:
+        lines.append(f"Cache root: `{manifest['cache_root']}`.")
+    lines += [
+        "",
+        format_markdown_table(
+            [
+                {
+                    "artifact": figure["title"],
+                    "cells": figure["cells"],
+                    "distinct": figure["distinct"],
+                    "warm": figure["warm"],
+                    "recomputed": figure["to_execute"],
+                    "file": f"`{figure['artifact']}`",
+                }
+                for figure in manifest["figures"]
+            ]
+        ),
+    ]
+    for figure in manifest["figures"]:
+        lines += ["", f"## {figure['title']}", ""]
+        if figure["id"] == "table1" and figure.get("payload"):
+            lines += [format_markdown_table(figure["payload"]), ""]
+        elif figure["id"] == "table2" and figure.get("payload"):
+            lines += [
+                format_markdown_table(
+                    [{"parameter": k, "value": v} for k, v in figure["payload"].items()]
+                ),
+                "",
+            ]
+        if not figure["provenance"]:
+            lines.append("No sweep cells (static artifact).")
+            continue
+        lines += [
+            f"{figure['cells']} cells ({figure['distinct']} distinct): "
+            f"{figure['warm']} warm, {figure['to_execute']} recomputed — "
+            f"results in `{figure['artifact']}`.",
+            "",
+            "<details><summary>Cell provenance</summary>",
+            "",
+            format_markdown_table(figure["provenance"]),
+            "",
+            "</details>",
+        ]
+    lines.append("")
     return "\n".join(lines)

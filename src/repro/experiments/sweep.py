@@ -206,6 +206,117 @@ class SweepSpec:
         return cls(name=name, cells=cells)
 
 
+@dataclass(frozen=True)
+class PlanEntry:
+    """One spec cell in a :class:`SweepPlan`: its key, owning shard, and
+    whether the cache already holds its result."""
+
+    cell: SweepCell
+    key: str
+    shard: int
+    cached: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "cell": self.cell.to_dict(),
+            "key": self.key,
+            "shard": self.shard,
+            "cached": self.cached,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PlanEntry":
+        return cls(
+            cell=SweepCell.from_dict(data["cell"]),
+            key=data["key"],
+            shard=data["shard"],
+            cached=data["cached"],
+        )
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """Manifest of a sweep: every cell's cache key, hit/miss status, and shard.
+
+    The plan is what makes paper-scale grids restartable and distributable:
+    it is computed without running anything, so a scheduler (or the CLI's
+    ``--shard-index/--shard-count/--resume`` flags) can see up front which
+    cells are already warm in the cache and which shard owns each remaining
+    miss.
+
+    Sharding is deterministic and cache-key based: the *distinct* keys of the
+    spec, in first-occurrence order, are split into ``shard_count`` contiguous
+    blocks (the same rule the process pool uses for chunking), so cells that
+    share a workload stay on one shard and every key is owned by exactly one
+    shard regardless of which machine computes the plan.
+    """
+
+    name: str
+    shard_count: int
+    entries: tuple[PlanEntry, ...]
+
+    @classmethod
+    def build(
+        cls,
+        spec: SweepSpec | Iterable[SweepCell],
+        cache: ResultCache | None = None,
+        shard_count: int = 1,
+    ) -> "SweepPlan":
+        if shard_count < 1:
+            raise ConfigurationError(f"shard_count must be >= 1, got {shard_count}")
+        name = spec.name if isinstance(spec, SweepSpec) else "cells"
+        cells = list(spec.cells if isinstance(spec, SweepSpec) else spec)
+        keys = [cell.cache_key() for cell in cells]
+        distinct = list(dict.fromkeys(keys))
+        total = len(distinct)
+        owner: dict[str, int] = {}
+        for shard in range(shard_count):
+            for key in distinct[shard * total // shard_count : (shard + 1) * total // shard_count]:
+                owner[key] = shard
+        warm = {key: cache is not None and cache.has(key) for key in distinct}
+        entries = tuple(
+            PlanEntry(cell=cell, key=key, shard=owner[key], cached=warm[key])
+            for cell, key in zip(cells, keys)
+        )
+        return cls(name=name, shard_count=shard_count, entries=entries)
+
+    def shard_entries(self, shard_index: int) -> tuple[PlanEntry, ...]:
+        """The entries owned by one shard (spec order preserved)."""
+        if not 0 <= shard_index < self.shard_count:
+            raise ConfigurationError(
+                f"shard_index must be in [0, {self.shard_count}), got {shard_index}"
+            )
+        return tuple(entry for entry in self.entries if entry.shard == shard_index)
+
+    def counts(self) -> dict[str, int]:
+        """Cell/distinct/warm/to-execute totals (distinct keys, not spec cells)."""
+        distinct: dict[str, bool] = {}
+        for entry in self.entries:
+            distinct.setdefault(entry.key, entry.cached)
+        warm = sum(1 for cached in distinct.values() if cached)
+        return {
+            "cells": len(self.entries),
+            "distinct": len(distinct),
+            "warm": warm,
+            "to_execute": len(distinct) - warm,
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "shard_count": self.shard_count,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepPlan":
+        return cls(
+            name=data["name"],
+            shard_count=data["shard_count"],
+            entries=tuple(PlanEntry.from_dict(e) for e in data["entries"]),
+        )
+
+
 @dataclass
 class CellResult:
     """One executed (or cache-served) cell plus its raw JSON-safe payload."""
@@ -307,15 +418,54 @@ class SweepRunner:
         #: (hits, executed) counters of the most recent :meth:`run`.
         self.last_stats: dict[str, int] = {"cells": 0, "cache_hits": 0, "executed": 0}
 
-    def run(self, spec: SweepSpec | Iterable[SweepCell]) -> list[CellResult]:
+    def plan(
+        self, spec: SweepSpec | Iterable[SweepCell], shard_count: int = 1
+    ) -> SweepPlan:
+        """Manifest of a spec against this runner's cache (no execution)."""
+        return SweepPlan.build(spec, cache=self.cache, shard_count=shard_count)
+
+    def run(
+        self,
+        spec: SweepSpec | Iterable[SweepCell],
+        *,
+        shard_index: int | None = None,
+        shard_count: int | None = None,
+    ) -> list[CellResult]:
         """Execute every cell, returning results in spec order.
 
         The output is independent of ``jobs`` and of cache state: payloads are
         produced by the same :func:`execute_cell` code path everywhere and
         results are reassembled in submission order.
+
+        With ``shard_index``/``shard_count`` set, only the cells whose cache
+        key is owned by that shard (per :class:`SweepPlan`'s deterministic
+        partition) are processed; the rest are skipped and counted in
+        ``last_stats['skipped']``. Running every shard against caches that are
+        later merged leaves the merged cache bit-identical to one warm serial
+        run, so a final ``run`` over the full spec is a pure resume.
         """
+        if (shard_index is None) != (shard_count is None):
+            raise ConfigurationError(
+                "shard_index and shard_count must be given together"
+            )
+        if shard_index is not None:
+            plan = SweepPlan.build(spec, cache=self.cache, shard_count=shard_count)
+            owned = plan.shard_entries(shard_index)
+            results = self._run_cells(
+                [entry.cell for entry in owned], [entry.key for entry in owned]
+            )
+            self.last_stats.update(
+                {
+                    "skipped": len(plan.entries) - len(owned),
+                    "shard_index": shard_index,
+                    "shard_count": shard_count,
+                }
+            )
+            return results
         cells = list(spec.cells if isinstance(spec, SweepSpec) else spec)
-        keys = [cell.cache_key() for cell in cells]
+        return self._run_cells(cells, [cell.cache_key() for cell in cells])
+
+    def _run_cells(self, cells: list[SweepCell], keys: list[str]) -> list[CellResult]:
         payloads: dict[str, dict] = {}
         cached_keys: set[str] = set()
 

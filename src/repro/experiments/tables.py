@@ -7,15 +7,19 @@ from ..models.registry import FIGURE11_BATCH_SIZES, available_models, model_desc
 from .sweep import SweepCell, SweepRunner, SweepSpec
 
 
+def table1_spec(scale: str = "paper", models=None) -> SweepSpec:
+    """The characterization grid behind Table 1 (one cell per model)."""
+    return SweepSpec(
+        name="table1",
+        cells=tuple(SweepCell(model=model, policy=None, scale=scale) for model in available_models()),
+    )
+
+
 def table1_models(scale: str = "paper", runner: SweepRunner | None = None) -> list[dict[str, object]]:
     """Table 1: evaluated DNN models, their kernel counts, sources and datasets."""
     models = available_models()
-    spec = SweepSpec(
-        name="table1",
-        cells=tuple(SweepCell(model=model, policy=None, scale=scale) for model in models),
-    )
     rows: list[dict[str, object]] = []
-    for model, out in zip(models, (runner or SweepRunner()).run(spec)):
+    for model, out in zip(models, (runner or SweepRunner()).run(table1_spec(scale))):
         description = model_description(model)
         rows.append(
             {

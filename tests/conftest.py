@@ -13,6 +13,21 @@ from repro.profiling import profile_training_graph
 from helpers import build_branchy_graph, build_tiny_mlp
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json from the current figure/table outputs",
+    )
+
+
+@pytest.fixture(scope="session")
+def update_goldens(request) -> bool:
+    """Whether golden files should be rewritten instead of compared."""
+    return request.config.getoption("--update-goldens")
+
+
 @pytest.fixture(scope="session")
 def tiny_graph() -> DataflowGraph:
     return build_tiny_mlp()

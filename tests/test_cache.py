@@ -1,0 +1,201 @@
+"""Property-based and failure-injection tests for :class:`ResultCache`.
+
+The cache sits under every figure of the reproduction, so its contract is
+load-bearing: arbitrary JSON payloads must round-trip exactly, any corrupted
+or foreign on-disk state must read as a *miss* (never an exception, never a
+wrong payload), schema bumps must invalidate, ``stats``/``clear`` must agree,
+and crashed writers must not leak temp files that shadow real entries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.cache import CACHE_SCHEMA_VERSION, ResultCache
+
+# Cache keys are SHA-256 hex digests; any hex string >= 2 chars is layout-valid.
+keys = st.text(alphabet="0123456789abcdef", min_size=2, max_size=64)
+
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**53), max_value=2**53)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=15,
+)
+
+#: Payloads are dicts at the top level (the executed-cell payload shape).
+payloads = st.dictionaries(st.text(max_size=8), json_values, max_size=5)
+
+relaxed = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+class TestRoundTrip:
+    @relaxed
+    @given(key=keys, payload=payloads)
+    def test_put_get_round_trip(self, tmp_path, key, payload):
+        cache = ResultCache(tmp_path / "c")
+        cache.put(key, payload)
+        assert cache.get(key) == payload
+        assert cache.has(key)
+
+    @relaxed
+    @given(key=keys, first=payloads, second=payloads)
+    def test_put_overwrites(self, tmp_path, key, first, second):
+        cache = ResultCache(tmp_path / "c")
+        cache.put(key, first)
+        cache.put(key, second)
+        assert cache.get(key) == second
+
+    @relaxed
+    @given(key=keys)
+    def test_missing_key_is_a_miss(self, tmp_path, key):
+        cache = ResultCache(tmp_path / "c")
+        assert cache.get(key) is None
+        assert not cache.has(key)
+
+
+class TestCorruptionTolerance:
+    @relaxed
+    @given(key=keys, payload=payloads, data=st.data())
+    def test_truncated_entry_is_a_miss(self, tmp_path, key, payload, data):
+        """Any strict prefix of a valid entry must read as a miss, never crash
+        (a writer killed mid-write on a non-atomic filesystem, a torn copy)."""
+        cache = ResultCache(tmp_path / "c")
+        path = cache.put(key, payload)
+        raw = path.read_bytes()
+        cut = data.draw(st.integers(min_value=0, max_value=len(raw) - 1))
+        path.write_bytes(raw[:cut])
+        assert cache.get(key) is None
+
+    @relaxed
+    @given(key=keys, garbage=st.binary(max_size=64))
+    def test_garbage_bytes_never_crash(self, tmp_path, key, garbage):
+        cache = ResultCache(tmp_path / "c")
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(garbage)
+        got = cache.get(key)
+        assert got is None or isinstance(got, dict)
+
+    @relaxed
+    @given(key=keys, entry=json_values)
+    def test_non_entry_json_is_a_miss(self, tmp_path, key, entry):
+        """Valid JSON that is not a schema-tagged entry dict must be a miss."""
+        cache = ResultCache(tmp_path / "c")
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        if not (isinstance(entry, dict) and entry.get("schema") == CACHE_SCHEMA_VERSION):
+            assert cache.get(key) is None
+
+    @relaxed
+    @given(key=keys, payload=payloads, bump=st.integers(min_value=1, max_value=5))
+    def test_schema_version_mismatch_is_a_miss(self, tmp_path, key, payload, bump):
+        cache = ResultCache(tmp_path / "c")
+        path = cache.put(key, payload)
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        entry["schema"] = CACHE_SCHEMA_VERSION + bump
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        assert cache.get(key) is None
+        assert not cache.has(key)
+
+
+class TestStatsClearAgreement:
+    @relaxed
+    @given(keyset=st.sets(keys, max_size=8))
+    def test_stats_and_clear_agree(self, tmp_path, keyset):
+        root = tmp_path / "c"
+        cache = ResultCache(root)
+        for key in keyset:
+            cache.put(key, {"v": key})
+        stats = cache.stats()
+        assert stats["entries"] == len(keyset)
+        assert stats["stale_tmp"] == 0
+        assert (stats["bytes"] > 0) == (len(keyset) > 0)
+        assert cache.clear() == len(keyset)
+        after = cache.stats()
+        assert after["entries"] == 0 and after["bytes"] == 0
+        assert not root.exists()
+
+
+class TestTempFileHygiene:
+    def test_failed_put_leaves_no_temp_file(self, tmp_path):
+        """An in-process writer crash (unserializable payload) must clean up
+        its temp file instead of leaking ``*.tmp.<pid>`` forever."""
+        cache = ResultCache(tmp_path / "c")
+        with pytest.raises(TypeError):
+            cache.put("ab12cd", {"bad": object()})
+        assert list((tmp_path / "c").rglob("*.tmp.*")) == []
+        assert cache.get("ab12cd") is None
+
+    def test_stale_temp_files_are_reported_and_swept(self, tmp_path):
+        """A *killed* writer leaves a temp file; stats must surface it and
+        clear must reclaim it alongside the real entries."""
+        cache = ResultCache(tmp_path / "c")
+        cache.put("ab12cd", {"v": 1})
+        stale = cache.root / "fe" / "fe99.tmp.4242"
+        stale.parent.mkdir(parents=True, exist_ok=True)
+        stale.write_text("{torn write", encoding="utf-8")
+
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["stale_tmp"] == 1
+        assert stats["stale_tmp_bytes"] > 0
+
+        # clear() counts real entries but sweeps the stale temp file too.
+        assert cache.clear() == 1
+        assert not cache.root.exists()
+        assert cache.stats()["stale_tmp"] == 0
+
+    def test_stale_temp_file_never_shadows_an_entry(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        path = cache.path_for("ab12cd")
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.parent.mkdir(parents=True, exist_ok=True)
+        tmp.write_text(json.dumps({"schema": CACHE_SCHEMA_VERSION, "payload": {"v": 1}}))
+        assert cache.get("ab12cd") is None
+
+
+class TestMerge:
+    def test_merge_copies_missing_entries(self, tmp_path):
+        source = ResultCache(tmp_path / "a")
+        dest = ResultCache(tmp_path / "b")
+        entries = {"ab12": {"v": 1}, "cd34": {"v": 2}, "ab99": {"v": 3}}
+        for key, payload in entries.items():
+            source.put(key, payload)
+        assert dest.merge_from(source) == 3
+        for key, payload in entries.items():
+            assert dest.get(key) == payload
+        # Idempotent: nothing left to merge.
+        assert dest.merge_from(source) == 0
+        assert dest.stats()["entries"] == 3
+
+    def test_merge_skips_existing_and_stale_temp_files(self, tmp_path):
+        source = ResultCache(tmp_path / "a")
+        dest = ResultCache(tmp_path / "b")
+        source.put("ab12", {"v": "source"})
+        dest.put("ab12", {"v": "dest"})
+        stale = source.root / "ff" / "ffff.tmp.7"
+        stale.parent.mkdir(parents=True, exist_ok=True)
+        stale.write_text("torn", encoding="utf-8")
+
+        assert dest.merge_from(source) == 0
+        assert dest.get("ab12") == {"v": "dest"}
+        assert dest.stats()["stale_tmp"] == 0
+
+    def test_merge_from_empty_or_absent_cache(self, tmp_path):
+        dest = ResultCache(tmp_path / "b")
+        assert dest.merge_from(ResultCache(tmp_path / "missing")) == 0

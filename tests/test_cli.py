@@ -92,17 +92,148 @@ class TestSweepCommand:
         assert [row["cell"]["policy"] for row in rows] == ["g10", "base_uvm"]
 
 
+class TestShardedCommands:
+    def test_figure_shards_merge_and_resume_match_serial(self, tmp_path, capsys):
+        """The acceptance workflow through the CLI: 3 shards -> merge -> resume."""
+        base = ("figure", "11", "--scale", "ci", "--models", "bert")
+        assert run_cli(*base, "--no-cache") == 0
+        serial = capsys.readouterr().out
+
+        for index in range(3):
+            assert run_cli(
+                *base, "--cache-dir", str(tmp_path / f"shard{index}"),
+                "--shard-index", str(index), "--shard-count", "3",
+            ) == 0
+            out = capsys.readouterr()
+            assert out.out == ""  # shard warming renders nothing
+            assert f"shard {index}/3" in out.err and "4 skipped" in out.err
+
+        merged = str(tmp_path / "merged")
+        assert run_cli(
+            "cache", "merge",
+            *(str(tmp_path / f"shard{i}") for i in range(3)),
+            "--cache-dir", merged,
+        ) == 0
+        assert "merged 6 entries" in capsys.readouterr().out
+
+        assert run_cli(*base, "--cache-dir", merged, "--resume") == 0
+        resumed = capsys.readouterr()
+        assert resumed.out == serial  # bit-identical to the cold serial run
+        assert "6 warm, 0 to execute" in resumed.err
+        assert "6 cached, 0 executed" in resumed.err
+
+    def test_sweep_shard_prints_only_owned_cells(self, tmp_path, capsys):
+        args = ("sweep", "--models", "bert", "--policies", "g10,base_uvm,deepum",
+                "--scale", "ci", "--cache-dir", str(tmp_path / "c"))
+        assert run_cli(*args, "--shard-index", "0", "--shard-count", "3") == 0
+        out = capsys.readouterr().out
+        # Header + separator + exactly the one row this shard owns (g10).
+        assert len(out.strip().splitlines()) == 3
+        assert "G10" in out
+
+    def test_shard_index_without_count_is_an_error(self, tmp_path, capsys):
+        assert run_cli(
+            "figure", "11", "--scale", "ci", "--models", "bert",
+            "--cache-dir", str(tmp_path / "c"), "--shard-index", "0",
+        ) == 2
+        assert "together" in capsys.readouterr().err
+
+    def test_shard_requires_cache(self, capsys):
+        assert run_cli(
+            "figure", "11", "--scale", "ci", "--models", "bert",
+            "--no-cache", "--shard-index", "0", "--shard-count", "2",
+        ) == 2
+        assert "requires the result cache" in capsys.readouterr().err
+
+    def test_resume_requires_cache(self, capsys):
+        assert run_cli(
+            "figure", "11", "--scale", "ci", "--models", "bert",
+            "--no-cache", "--resume",
+        ) == 2
+        assert "requires the result cache" in capsys.readouterr().err
+
+    def test_shard_mode_warns_when_output_is_ignored(self, tmp_path, capsys):
+        artifact = tmp_path / "fig.json"
+        assert run_cli(
+            "figure", "11", "--scale", "ci", "--models", "bert",
+            "--cache-dir", str(tmp_path / "c"),
+            "--shard-index", "0", "--shard-count", "3", "--output", str(artifact),
+        ) == 0
+        assert "--output ignored" in capsys.readouterr().err
+        assert not artifact.exists()
+
+    def test_report_resume_prints_the_plan(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "c")
+        assert run_cli("report", "--scale", "ci", "--figures", "2",
+                       "--cache-dir", cache_dir,
+                       "--output-dir", str(tmp_path / "r1")) == 0
+        capsys.readouterr()
+        assert run_cli("report", "--scale", "ci", "--figures", "2",
+                       "--cache-dir", cache_dir, "--resume",
+                       "--output-dir", str(tmp_path / "r2")) == 0
+        assert "4 warm, 0 to execute" in capsys.readouterr().err
+
+
+class TestReportCommand:
+    def test_report_renders_artifacts_and_manifest(self, tmp_path, capsys):
+        out_dir = tmp_path / "report"
+        assert run_cli(
+            "report", "--scale", "ci", "--figures", "2,table2",
+            "--cache-dir", str(tmp_path / "c"), "--output-dir", str(out_dir),
+        ) == 0
+        err = capsys.readouterr().err
+        assert "2 artifacts" in err
+        assert (out_dir / "figure2.json").exists()
+        assert (out_dir / "table2.json").exists()
+        manifest = json.loads((out_dir / "report.json").read_text())
+        assert manifest["totals"]["warm"] == 0
+        assert "Figure 2" in (out_dir / "report.md").read_text()
+
+    def test_report_shard_then_expect_warm(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "c")
+        for index in range(2):
+            assert run_cli(
+                "report", "--scale", "ci", "--figures", "2", "--cache-dir", cache_dir,
+                "--shard-index", str(index), "--shard-count", "2",
+            ) == 0
+        capsys.readouterr()
+        assert run_cli(
+            "report", "--scale", "ci", "--figures", "2", "--cache-dir", cache_dir,
+            "--output-dir", str(tmp_path / "report"), "--expect-warm",
+        ) == 0
+        assert "4 warm, 0 recomputed" in capsys.readouterr().err
+
+    def test_expect_warm_cold_cache_fails(self, tmp_path, capsys):
+        assert run_cli(
+            "report", "--scale", "ci", "--figures", "2",
+            "--cache-dir", str(tmp_path / "cold"),
+            "--output-dir", str(tmp_path / "report"), "--expect-warm",
+        ) == 2
+        assert "recomputed" in capsys.readouterr().err
+
+
 class TestCacheCommand:
     def test_info_and_clear(self, tmp_path, capsys):
         cache_dir = str(tmp_path / "cache")
         run_cli("run", "--model", "bert", "--scale", "ci", "--cache-dir", cache_dir)
         capsys.readouterr()
         assert run_cli("cache", "info", "--cache-dir", cache_dir) == 0
-        assert "entries    : 1" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "entries    : 1" in out
+        assert "stale tmp  : 0" in out
         assert run_cli("cache", "clear", "--cache-dir", cache_dir) == 0
         assert "removed 1" in capsys.readouterr().out
         assert run_cli("cache", "path", "--cache-dir", cache_dir) == 0
         assert cache_dir in capsys.readouterr().out
+
+    def test_merge_requires_sources(self, tmp_path, capsys):
+        assert run_cli("cache", "merge", "--cache-dir", str(tmp_path / "c")) == 2
+        assert "at least one source" in capsys.readouterr().err
+
+    def test_non_merge_actions_reject_stray_sources(self, tmp_path, capsys):
+        """`cache clear shard0` must not silently clear the default cache."""
+        assert run_cli("cache", "clear", "shard0", "--cache-dir", str(tmp_path / "c")) == 2
+        assert "--cache-dir" in capsys.readouterr().err
 
 
 class TestModuleEntryPoint:

@@ -1,0 +1,92 @@
+"""Cross-policy invariants: cheap oracles behind the paper's ordering claims.
+
+Figure 11's headline (every design normalised to the ideal, G10 closest to
+1.0) silently assumes two things the simulator must never violate, whatever
+the configuration:
+
+* the ``ideal`` (infinite-memory) policy is a true lower bound on end-to-end
+  execution time, and
+* every policy simulates the *identical* kernel set — same kernels, same
+  ideal durations — so their times are comparable at all.
+
+These tests check both over randomized small configurations (model, batch,
+host-memory and SSD-bandwidth scalings drawn from seeded RNGs, so failures
+reproduce), plus the derived-metric consistency the figures rely on.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.factory import POLICY_NAMES
+from repro.config import GB
+from repro.experiments import ConfigPatch, SweepCell, SweepRunner, default_config
+
+#: Tolerance for float accumulation differences between policies' clocks.
+EPS = 1e-9
+
+
+def _random_cells(seed: int) -> list[SweepCell]:
+    """One small randomized configuration, simulated under every policy."""
+    rng = random.Random(seed)
+    model = rng.choice(("bert", "vit", "resnet152"))
+    batch = rng.choice((8, 12, 16, 24))
+    base = default_config(model, "ci")
+    host_factor = rng.choice((0.0, 0.25, 1.0, 4.0))
+    patch = ConfigPatch(
+        host_memory_bytes=int(base.host_memory_bytes * host_factor),
+        ssd_read_bandwidth=rng.choice((3.2 * GB, 6.4 * GB, 12.8 * GB)),
+    )
+    return [
+        SweepCell(model=model, policy=policy, batch_size=batch, scale="ci", patch=patch)
+        for policy in POLICY_NAMES
+    ]
+
+
+@pytest.fixture(scope="module", params=range(4))
+def policy_results(request):
+    outs = SweepRunner().run(_random_cells(request.param))
+    return {out.cell.policy: out.result for out in outs}
+
+
+def test_ideal_is_a_lower_bound(policy_results):
+    ideal = policy_results["ideal"]
+    assert not ideal.failed, "the infinite-memory ideal can never fail"
+    for policy, result in policy_results.items():
+        # Failed runs have infinite execution time, trivially >= ideal.
+        assert ideal.execution_time <= result.execution_time + EPS, (
+            f"{policy} beat the infinite-memory ideal"
+        )
+
+
+def test_all_policies_share_the_ideal_time(policy_results):
+    expected = policy_results["ideal"].ideal_time
+    for policy, result in policy_results.items():
+        assert result.ideal_time == pytest.approx(expected, rel=1e-12), (
+            f"{policy} planned against a different ideal time"
+        )
+
+
+def test_all_policies_simulate_the_identical_kernel_set(policy_results):
+    reference = [
+        (t.index, t.ideal_duration) for t in policy_results["ideal"].kernel_timings
+    ]
+    assert reference, "ideal run produced no kernel timings"
+    for policy, result in policy_results.items():
+        if result.failed:
+            continue
+        kernels = [(t.index, t.ideal_duration) for t in result.kernel_timings]
+        assert kernels == reference, f"{policy} simulated a different kernel set"
+
+
+def test_execution_time_is_at_least_the_kernel_sum(policy_results):
+    for policy, result in policy_results.items():
+        if result.failed:
+            continue
+        kernel_sum = sum(t.actual_duration for t in result.kernel_timings)
+        assert result.execution_time + EPS >= kernel_sum - EPS, (
+            f"{policy} finished before its own kernels did"
+        )
+        assert result.normalized_performance <= 1.0 + EPS
