@@ -3,26 +3,38 @@
 * eviction destination policy (SSD-first + host fallback vs GDS-only),
 * eager prefetching (§4.4) vs latest-safe-only prefetching,
 * benefit/cost candidate ranking vs naive rankings.
+
+Each ablation variant is registered as a policy in the open registry — the
+same mechanism third-party policies use — and runs through the
+:class:`repro.Scenario` API, so this module doubles as a living example of
+extending the simulator without touching repro source.
 """
 
+from repro import Scenario, register_policy
 from repro.baselines import G10Policy, G10Variant
-from repro.experiments.harness import build_workload
-from repro.sim import ExecutionSimulator
 
 from bench_utils import BENCH_SCALE, run_once
 
+register_policy("ablation_g10_gds_only", lambda: G10Policy(G10Variant.GDS),
+                description="G10 without host staging (ablation)", replace=True)
+register_policy("ablation_g10_lazy", lambda: G10Policy(eager_prefetch=False),
+                description="G10 with latest-safe-only prefetching (ablation)", replace=True)
+register_policy("ablation_g10_largest", lambda: G10Policy(ranking="largest_tensor"),
+                description="G10 ranking candidates by size (ablation)", replace=True)
+register_policy("ablation_g10_longest", lambda: G10Policy(ranking="longest_period"),
+                description="G10 ranking candidates by inactivity (ablation)", replace=True)
 
-def _simulate(workload, policy):
-    return ExecutionSimulator(workload.graph, workload.config, policy, workload.report).run()
+
+def _performance(policy: str) -> float:
+    return Scenario("bert", scale=BENCH_SCALE).on_policy(policy).run().normalized_performance
 
 
 def test_ablation_eviction_destination(benchmark):
     """Using host memory alongside the SSD must not hurt, and usually helps."""
-    workload = build_workload("bert", scale=BENCH_SCALE)
 
     def run():
-        full = _simulate(workload, G10Policy(G10Variant.FULL))
-        gds = _simulate(workload, G10Policy(G10Variant.GDS))
+        full = Scenario("bert", scale=BENCH_SCALE).on_policy("g10").run()
+        gds = Scenario("bert", scale=BENCH_SCALE).on_policy("ablation_g10_gds_only").run()
         return full, gds
 
     full, gds = run_once(benchmark, run)
@@ -33,11 +45,11 @@ def test_ablation_eviction_destination(benchmark):
 
 def test_ablation_eager_prefetch(benchmark):
     """Eager prefetching (§4.4) should never lose to latest-safe prefetching."""
-    workload = build_workload("resnet152", scale=BENCH_SCALE)
+    base = Scenario("resnet152", scale=BENCH_SCALE)
 
     def run():
-        eager = _simulate(workload, G10Policy(eager_prefetch=True))
-        lazy = _simulate(workload, G10Policy(eager_prefetch=False))
+        eager = base.on_policy("g10").run()
+        lazy = base.on_policy("ablation_g10_lazy").run()
         return eager, lazy
 
     eager, lazy = run_once(benchmark, run)
@@ -51,12 +63,12 @@ def test_ablation_eager_prefetch(benchmark):
 
 def test_ablation_candidate_ranking(benchmark):
     """The benefit/cost ranking of Algorithm 1 should match or beat naive rankings."""
-    workload = build_workload("bert", scale=BENCH_SCALE)
 
     def run():
         return {
-            ranking: _simulate(workload, G10Policy(ranking=ranking)).normalized_performance
-            for ranking in ("benefit_cost", "largest_tensor", "longest_period")
+            "benefit_cost": _performance("g10"),
+            "largest_tensor": _performance("ablation_g10_largest"),
+            "longest_period": _performance("ablation_g10_longest"),
         }
 
     scores = run_once(benchmark, run)

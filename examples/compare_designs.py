@@ -3,23 +3,20 @@
 
 Runs the Figure 11 experiment (plus the Figure 14 traffic breakdown and the
 §7.7 SSD-lifetime estimate for G10) at CI scale and prints the result tables.
-Pass ``--paper`` to run the full paper-scale workloads instead (a few
-minutes), ``--jobs N`` to fan the sweep out over worker processes, and
-``--cache`` to reuse previously computed cells from ``.repro_cache/``.
+Per-design numbers come from the :class:`repro.Scenario` API; the figure grid
+itself runs through the experiment registry. Pass ``--paper`` to run the full
+paper-scale workloads instead (a few minutes), ``--jobs N`` to fan the sweep
+out over worker processes, and ``--cache`` to reuse previously computed cells
+from ``.repro_cache/``.
 
 Run with:  python examples/compare_designs.py [--paper] [--jobs N] [--cache]
 """
 
 import argparse
 
+from repro import Scenario
 from repro.analysis import estimate_ssd_lifetime, traffic_breakdown
-from repro.experiments import (
-    ResultCache,
-    SweepCell,
-    SweepRunner,
-    figure11_end_to_end,
-    format_table,
-)
+from repro.experiments import ResultCache, SweepRunner, format_table, get_experiment
 
 
 def main() -> None:
@@ -32,7 +29,7 @@ def main() -> None:
     runner = SweepRunner(jobs=args.jobs, cache=ResultCache() if args.cache else None)
 
     print(f"Running the end-to-end comparison at {scale} scale...\n")
-    results = figure11_end_to_end(scale=scale, runner=runner)
+    results = get_experiment("11").render(scale=scale, runner=runner)
 
     rows = []
     for model, values in results.items():
@@ -45,16 +42,16 @@ def main() -> None:
     print("\nMigration traffic and SSD lifetime under full G10:")
     lifetime_rows = []
     for model in results:
-        out = runner.run_one(SweepCell(model=model, policy="g10", scale=scale))
-        run = out.result
-        breakdown = traffic_breakdown(run)
-        estimate = estimate_ssd_lifetime(run, out.cell.resolved().config().ssd)
+        outcome = Scenario(model, scale=scale).on_policy("g10").run(runner=runner)
+        breakdown = traffic_breakdown(outcome.result)
+        estimate = estimate_ssd_lifetime(outcome.result, outcome.scenario.cell().config().ssd)
         lifetime_rows.append(
             {
                 "model": model,
                 "gpu_ssd_gb": round(breakdown.gpu_ssd_gb, 1),
                 "gpu_host_gb": round(breakdown.gpu_host_gb, 1),
                 "ssd_lifetime_years": round(min(estimate.lifetime_years, 1000.0), 1),
+                "served_from_cache": outcome.cached,
             }
         )
     print(format_table(lifetime_rows))

@@ -4,22 +4,28 @@
 Builds a BERT training iteration whose footprint exceeds the (scaled) GPU
 memory, runs G10's tensor vitality analysis and migration planner, then
 simulates the iteration under the full G10 design and under plain UVM demand
-paging, printing the comparison the paper's Figure 11 makes per workload.
+paging — the comparison the paper's Figure 11 makes per workload — through
+the :class:`repro.Scenario` API. A :class:`repro.TraceRecorder` observer
+attached to the G10 run shows the new instrumentation hooks: migration
+counts without subclassing any policy.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro import build_workload, run_policy
+from repro import Scenario, TraceRecorder
 from repro.core import MigrationPlanner
 
 
 def main() -> None:
     # CI scale keeps the run under a second while preserving the paper's
-    # memory-pressure regime; switch to scale="paper" for the full workloads.
-    workload = build_workload("bert", scale="ci")
+    # memory-pressure regime; use .at_scale("paper") for the full workloads.
+    scenario = Scenario("bert", scale="ci")
+    session = scenario.session()
+    workload = session.workload
     print(f"Workload: {workload.graph.name}")
     print(f"  kernels per iteration : {workload.graph.num_kernels}")
     print(f"  peak memory footprint : {100 * workload.memory_footprint_ratio:.0f}% of GPU memory")
+    print(f"  config fingerprint    : {session.config_fingerprint()[:12]}")
 
     planner = MigrationPlanner(workload.config)
     planning = planner.plan_from_report(workload.report)
@@ -33,13 +39,21 @@ def main() -> None:
 
     print("\nSimulated end-to-end execution of one training iteration:")
     for policy in ("ideal", "base_uvm", "deepum", "g10"):
-        result = run_policy(workload, policy)
+        outcome = scenario.on_policy(policy).run()
         print(
-            f"  {result.policy_name:10s} "
-            f"time={result.execution_time:8.3f} s  "
-            f"normalized={result.normalized_performance:5.2f}  "
-            f"stalls={100 * result.stall_fraction:5.1f}%"
+            f"  {outcome.policy_name:10s} "
+            f"time={outcome.execution_time:8.3f} s  "
+            f"normalized={outcome.normalized_performance:5.2f}  "
+            f"stalls={100 * outcome.stall_fraction:5.1f}%"
         )
+
+    trace = TraceRecorder()
+    scenario.on_policy("g10").run(observers=(trace,))
+    print("\nObserved G10 run (SimObserver hooks, no policy subclassing):")
+    print(f"  kernel launches : {trace.count('kernel_start')}")
+    print(f"  prefetches      : {len(trace.migrations('prefetch'))}")
+    print(f"  evictions       : {len(trace.migrations('eviction'))}")
+    print(f"  demand faults   : {len(trace.migrations('fault'))}")
 
 
 if __name__ == "__main__":

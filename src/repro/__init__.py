@@ -11,14 +11,25 @@ paper's evaluation.
 
 Quickstart::
 
-    from repro import build_workload, run_policy
+    from repro import Scenario
 
-    workload = build_workload("bert", batch_size=64, scale="ci")
-    result = run_policy(workload, "g10")
-    print(result.normalized_performance)
+    outcome = Scenario("bert", scale="ci").on_policy("g10").run()
+    print(outcome.normalized_performance)
+
+Scenarios compose fluently and resolve lazily into executable sessions::
+
+    base = Scenario("bert").with_batch_size(128).with_gpu_memory(10 * GB)
+    for policy in ("base_uvm", "deepum", "g10"):
+        print(policy, base.on_policy(policy).run().normalized_performance)
+
+New policies, models and experiments plug in through the open registries —
+``@register_policy`` / ``@register_model`` / ``register_experiment`` — and
+are immediately runnable through :class:`Scenario`, the sweep runner and the
+``python -m repro`` CLI (see ``repro run --list-policies``).
 """
 
 from .config import (
+    GB,
     GPUConfig,
     InterconnectConfig,
     SSDConfig,
@@ -28,25 +39,35 @@ from .config import (
     paper_config,
 )
 from .core import MigrationPlanner, TensorVitalityAnalyzer
+from .api import Scenario, Session, SessionResult
+from .registry import (
+    EXPERIMENT_REGISTRY,
+    MODEL_REGISTRY,
+    POLICY_REGISTRY,
+    Registry,
+    load_plugins,
+    register_experiment,
+    register_model,
+    register_policy,
+)
 from .experiments import (
     ConfigPatch,
     ResultCache,
     SweepCell,
     SweepRunner,
     SweepSpec,
-    build_workload,
-    run_policies,
-    run_policy,
 )
 from .graph import DataflowGraph, TrainingGraph, expand_training
 from .models import available_models, build_model
 from .profiling import profile_training_graph
-from .baselines import POLICY_NAMES, make_policy
-from .sim import ExecutionSimulator, SimulationResult
+from .baselines import POLICY_NAMES, available_policies
+from .sim import ExecutionSimulator, SimObserver, SimulationResult, TraceRecorder
+from ._compat import build_workload, make_policy, run_policies, run_policy
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "GB",
     "GPUConfig",
     "SSDConfig",
     "InterconnectConfig",
@@ -56,15 +77,29 @@ __all__ = [
     "ci_config",
     "MigrationPlanner",
     "TensorVitalityAnalyzer",
+    "Scenario",
+    "Session",
+    "SessionResult",
+    "Registry",
+    "POLICY_REGISTRY",
+    "MODEL_REGISTRY",
+    "EXPERIMENT_REGISTRY",
+    "register_policy",
+    "register_model",
+    "register_experiment",
+    "load_plugins",
     "DataflowGraph",
     "TrainingGraph",
     "expand_training",
     "available_models",
+    "available_policies",
     "build_model",
     "profile_training_graph",
     "POLICY_NAMES",
     "make_policy",
     "ExecutionSimulator",
+    "SimObserver",
+    "TraceRecorder",
     "SimulationResult",
     "build_workload",
     "run_policy",

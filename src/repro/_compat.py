@@ -1,0 +1,58 @@
+"""Deprecated top-level shims kept for the pre-Scenario function API.
+
+``repro.build_workload``/``repro.run_policy``/``repro.run_policies``/
+``repro.make_policy`` predate the :class:`~repro.api.Scenario` API. They keep
+working — delegating to the exact same engine code, so results stay
+bit-for-bit identical — but emit a :class:`DeprecationWarning` (once per
+function per process) pointing at the replacement.
+
+The undeprecated engine functions remain importable from
+``repro.experiments.harness`` and ``repro.baselines`` for internal use.
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+from typing import Callable
+
+from .baselines import factory as _factory
+from .experiments import harness as _harness
+
+_warned: set[str] = set()
+
+
+def _reset_deprecation_warnings() -> None:
+    """Forget which shims already warned (test hook)."""
+    _warned.clear()
+
+
+def _deprecated(instead: str, func: Callable) -> Callable:
+    """Wrap ``func`` so its first call emits a DeprecationWarning."""
+
+    @functools.wraps(func)
+    def shim(*args, **kwargs):
+        if func.__name__ not in _warned:
+            _warned.add(func.__name__)
+            warnings.warn(
+                f"repro.{func.__name__} is deprecated; use {instead} instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return func(*args, **kwargs)
+
+    shim.__doc__ = (
+        f"Deprecated alias of ``{func.__module__}.{func.__name__}``; "
+        f"use {instead} instead.\n\n{func.__doc__ or ''}"
+    )
+    return shim
+
+
+build_workload = _deprecated("Scenario(...).session().workload", _harness.build_workload)
+run_policy = _deprecated("Scenario(...).on_policy(...).run()", _harness.run_policy)
+run_policies = _deprecated(
+    "Scenario(...).on_policy(name).run() per policy", _harness.run_policies
+)
+make_policy = _deprecated(
+    "repro.registry.POLICY_REGISTRY.create(name)", _factory.make_policy
+)

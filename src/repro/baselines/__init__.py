@@ -17,7 +17,7 @@ from .base_uvm import BaseUVMPolicy
 from .deepum import DeepUMPolicy
 from .flashneuron import FlashNeuronPolicy
 from .g10 import G10Policy, G10Variant
-from .factory import POLICY_NAMES, make_policy
+from .factory import POLICY_NAMES, available_policies, make_policy, normalize_policy_name
 
 __all__ = [
     "IdealPolicy",
@@ -27,5 +27,7 @@ __all__ = [
     "G10Policy",
     "G10Variant",
     "POLICY_NAMES",
+    "available_policies",
     "make_policy",
+    "normalize_policy_name",
 ]

@@ -3,10 +3,17 @@
 from __future__ import annotations
 
 from ..graph.kernel import Kernel
+from ..registry import register_policy
 from ..sim.policy import MigrationDecision, MigrationPolicy
 from ..uvm.page_table import MemoryLocation
 
 
+@register_policy(
+    "base_uvm",
+    aliases=("uvm",),
+    display="Base UVM",
+    description="Stock UVM demand paging with LRU eviction (no planning).",
+)
 class BaseUVMPolicy(MigrationPolicy):
     """The stock GPU-CPU-SSD UVM system.
 

@@ -12,10 +12,17 @@ is full, which the executor's host-capacity fallback provides.
 from __future__ import annotations
 
 from ..graph.kernel import Kernel
+from ..registry import register_policy
 from ..sim.policy import MigrationDecision, MigrationPolicy, PolicyContext
 from ..uvm.page_table import MemoryLocation
 
 
+@register_policy(
+    "deepum",
+    aliases=("deepum_plus",),
+    display="DeepUM+",
+    description="UVM plus a correlation-table prefetcher (Jung et al., ASPLOS'23).",
+)
 class DeepUMPolicy(MigrationPolicy):
     """Correlation-prefetching UVM (the paper's DeepUM+).
 

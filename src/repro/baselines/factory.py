@@ -1,26 +1,18 @@
-"""Factory for constructing policies by name (used by the experiment harness)."""
+"""Policy construction by name, backed by the open policy registry.
+
+The closed ``_FACTORIES`` dict this module used to hold lives on as
+registrations in :data:`repro.registry.POLICY_REGISTRY`; third-party policies
+join them with ``@register_policy`` and are constructible here (and through
+the :class:`~repro.api.Scenario` API and the CLI) without editing repro
+source. Paper-style labels (``"G10+Host"``, ``"Base UVM"``, ``"DeepUM+"``,
+``"G10-GDS"``, ``"FlashNeuron"``) resolve through the registry's name
+normalizer and alias table.
+"""
 
 from __future__ import annotations
 
-from typing import Callable
-
-from ..errors import ConfigurationError
+from ..registry import POLICY_REGISTRY
 from ..sim.policy import MigrationPolicy
-from .base_uvm import BaseUVMPolicy
-from .deepum import DeepUMPolicy
-from .flashneuron import FlashNeuronPolicy
-from .g10 import G10Policy, G10Variant
-from .ideal import IdealPolicy
-
-_FACTORIES: dict[str, Callable[[], MigrationPolicy]] = {
-    "ideal": IdealPolicy,
-    "base_uvm": BaseUVMPolicy,
-    "deepum": DeepUMPolicy,
-    "flashneuron": FlashNeuronPolicy,
-    "g10_gds": lambda: G10Policy(G10Variant.GDS),
-    "g10_host": lambda: G10Policy(G10Variant.HOST),
-    "g10": lambda: G10Policy(G10Variant.FULL),
-}
 
 #: Canonical policy names in the order the paper's figures present them.
 POLICY_NAMES: tuple[str, ...] = (
@@ -35,10 +27,15 @@ POLICY_NAMES: tuple[str, ...] = (
 
 
 def make_policy(name: str) -> MigrationPolicy:
-    """Construct a fresh policy instance by canonical name."""
-    key = name.lower().replace("-", "_").replace(" ", "_").replace("+", "")
-    if key not in _FACTORIES:
-        raise ConfigurationError(
-            f"unknown policy {name!r}; available: {sorted(_FACTORIES)}"
-        )
-    return _FACTORIES[key]()
+    """Construct a fresh policy instance by any registered name or alias."""
+    return POLICY_REGISTRY.create(name)
+
+
+def available_policies() -> list[str]:
+    """Every registered policy name (built-ins first, in registration order)."""
+    return POLICY_REGISTRY.available()
+
+
+def normalize_policy_name(name: str) -> str:
+    """Canonical key for any accepted policy spelling (``"G10+Host"`` → ``"g10_host"``)."""
+    return POLICY_REGISTRY.resolve(name)

@@ -16,10 +16,17 @@ from __future__ import annotations
 
 from ..core.pressure import MemoryPressureTimeline, period_slot_indices
 from ..graph.kernel import Kernel, KernelPhase
+from ..registry import register_policy
 from ..sim.policy import MigrationDecision, MigrationPolicy, PolicyContext
 from ..uvm.page_table import MemoryLocation
 
 
+@register_policy(
+    "flashneuron",
+    aliases=("flash_neuron",),
+    display="FlashNeuron",
+    description="Compile-time selective offload over GPUDirect Storage (Bae et al., FAST'21).",
+)
 class FlashNeuronPolicy(MigrationPolicy):
     """Compile-time selective tensor offloading to the SSD (no host memory, no UVM)."""
 

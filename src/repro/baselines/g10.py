@@ -8,6 +8,7 @@ from ..core.eviction import EvictionPolicyConfig
 from ..core.plan import MigrationDestination, MigrationPlan
 from ..core.scheduler import MigrationPlanner
 from ..graph.kernel import Kernel
+from ..registry import register_policy
 from ..sim.policy import MigrationDecision, MigrationPolicy, PolicyContext
 from ..uvm.page_table import MemoryLocation
 
@@ -126,3 +127,26 @@ class G10Policy(MigrationPolicy):
             "eager_prefetch": str(self._eager_prefetch),
             "ranking": self._ranking,
         }
+
+
+# The three G10 configurations of Figure 11, registered as separate policies
+# so experiment grids and the CLI can name each variant directly.
+register_policy(
+    "g10",
+    lambda: G10Policy(G10Variant.FULL),
+    aliases=("g10_full",),
+    display="G10",
+    description="Full system: host + SSD staging plus the extended-UVM page table.",
+)
+register_policy(
+    "g10_gds",
+    lambda: G10Policy(G10Variant.GDS),
+    display="G10-GDS",
+    description="Smart migrations between GPU and SSD only (GPUDirect Storage path).",
+)
+register_policy(
+    "g10_host",
+    lambda: G10Policy(G10Variant.HOST),
+    display="G10-Host",
+    description="Adds host memory as a staging destination, without the UVM extension.",
+)

@@ -3,9 +3,15 @@
 from __future__ import annotations
 
 from ..graph.kernel import Kernel
+from ..registry import register_policy
 from ..sim.policy import MigrationDecision, MigrationPolicy
 
 
+@register_policy(
+    "ideal",
+    display="Ideal",
+    description="Infinite GPU memory; the upper bound every result is normalised to.",
+)
 class IdealPolicy(MigrationPolicy):
     """Upper bound used to normalise every result: nothing ever migrates."""
 

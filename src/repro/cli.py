@@ -3,6 +3,7 @@
 Subcommands:
 
 * ``run``    — simulate one (model, policy) cell and print its summary;
+  ``--list-policies``/``--list-models`` print the open registries instead;
 * ``figure`` — reproduce a figure (2-4, 11-19), a table (table1/table2) or the
   §7.7 lifetime study, optionally writing a JSON artifact;
 * ``sweep``  — run a custom (models x policies x batches) grid;
@@ -19,6 +20,12 @@ Paper-scale grids distribute across machines with ``--shard-index I
 of the grid into its own cache; ``repro cache merge`` combines the shard
 caches; and ``--resume`` (or ``repro report --expect-warm``) regenerates the
 figures incrementally from the merged cache, bit-identical to a serial run.
+
+Policies, models and experiments resolve through the open registries
+(:mod:`repro.registry`); out-of-tree registrations load with ``--plugins
+module_a,module_b`` or the ``REPRO_PLUGINS`` environment variable (the latter
+also reaches sweep worker processes and is read before the parser is built,
+so plugin experiments appear among the ``repro figure`` choices).
 """
 
 from __future__ import annotations
@@ -29,10 +36,10 @@ import sys
 import time
 from typing import Sequence
 
+from .api import Scenario
 from .experiments import (
     ConfigPatch,
     ResultCache,
-    SweepCell,
     SweepRunner,
     SweepSpec,
     combined_spec,
@@ -43,14 +50,10 @@ from .experiments import (
     table2_configuration,
     warm_cache,
 )
-from .experiments.reporting import EXPERIMENT_ALIASES, EXPERIMENTS
+from .experiments.reporting import experiment_ids
 from .config import GB
 from .errors import ConfigurationError, ReproError
-
-#: Ids accepted by ``repro figure`` (registry ids plus aliases).
-FIGURE_IDS: tuple[str, ...] = tuple(
-    sorted({e.id for e in EXPERIMENTS} | set(EXPERIMENT_ALIASES))
-)
+from .registry import MODEL_REGISTRY, POLICY_REGISTRY, load_plugins
 
 
 def _csv(text: str) -> list[str]:
@@ -114,9 +117,35 @@ def _print_plan(label: str, runner: SweepRunner, spec: SweepSpec) -> None:
     )
 
 
+def _registry_listing(registry) -> str:
+    rows = []
+    for info in registry.describe_all():
+        description = info.get("description", "")
+        if not description and "dataset" in info:
+            description = f"{info.get('source', '?')} / {info['dataset']}"
+        rows.append(
+            {
+                "name": info["name"],
+                "aliases": ", ".join(info["aliases"]) or "-",
+                "display": info.get("display", info["name"]),
+                "description": description,
+            }
+        )
+    return format_table(rows)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.list_policies:
+        print(_registry_listing(POLICY_REGISTRY))
+        return 0
+    if args.list_models:
+        print(_registry_listing(MODEL_REGISTRY))
+        return 0
+    if args.model is None:
+        raise ConfigurationError("repro run requires --model (or --list-policies/--list-models)")
+
     runner = _make_runner(args)
-    cell = SweepCell(
+    scenario = Scenario(
         model=args.model,
         policy=args.policy,
         batch_size=args.batch,
@@ -129,13 +158,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     start = time.monotonic()
-    out = runner.run_one(cell)
+    outcome = scenario.run(runner=runner)
     _report_stats(f"run {args.model}/{args.policy}", runner, time.monotonic() - start)
-    result = out.result
+    result = outcome.result
     print(format_table([result.summary()]))
     if args.output:
+        payload = {
+            "cell": scenario.cell().to_dict(),
+            "result": result.to_dict(),
+            "provenance": {
+                "config_fingerprint": outcome.config_fingerprint,
+                "cache_key": outcome.cache_key,
+                "policy": dict(outcome.policy),
+                "cached": outcome.cached,
+            },
+        }
         with open(args.output, "w", encoding="utf-8") as fh:
-            json.dump({"cell": cell.to_dict(), "result": result.to_dict()}, fh, indent=2)
+            json.dump(payload, fh, indent=2)
         print(f"wrote {args.output}")
     return 1 if result.failed else 0
 
@@ -283,6 +322,9 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", choices=("ci", "paper"), default="ci",
                         help="workload scale (default: ci)")
+    parser.add_argument("--plugins", default=None, metavar="MODULES",
+                        help="comma-separated modules to import before running "
+                             "(registering policies/models; also $REPRO_PLUGINS)")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="fan cells out over N worker processes")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -311,8 +353,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="simulate one (model, policy) cell")
-    run.add_argument("--model", required=True, help="model name (bert, vit, ...)")
+    run.add_argument("--model", default=None, help="model name (bert, vit, ...)")
     run.add_argument("--policy", default="g10", help="policy name (default: g10)")
+    run.add_argument("--list-policies", action="store_true",
+                     help="list every registered policy (with aliases) and exit")
+    run.add_argument("--list-models", action="store_true",
+                     help="list every registered model (with aliases) and exit")
     run.add_argument("--batch", type=int, default=None, help="batch size (default: Figure 11's)")
     run.add_argument("--error", type=float, default=0.0, help="profiling error fraction (§7.6)")
     run.add_argument("--seed", type=int, default=0, help="profiling-error noise seed")
@@ -325,7 +371,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.set_defaults(func=_cmd_run)
 
     figure = sub.add_parser("figure", help="reproduce a figure or table of the paper")
-    figure.add_argument("id", choices=FIGURE_IDS,
+    # Computed lazily so experiments registered by plugins appear as choices.
+    figure.add_argument("id", choices=tuple(experiment_ids()),
                         help="figure number, table1/table2, or lifetime (§7.7)")
     figure.add_argument("--models", default=None,
                         help="comma-separated model subset (figures that sweep models)")
@@ -368,9 +415,38 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _peek_plugins(argv: Sequence[str] | None) -> list[str]:
+    """Every ``--plugins`` value, extracted before full argument parsing.
+
+    All occurrences are collected (argparse keeps only the last, but each
+    named module may register experiments the parser's choices depend on).
+    """
+    tokens = list(sys.argv[1:] if argv is None else argv)
+    values = []
+    for index, token in enumerate(tokens):
+        flag, eq, inline = token.partition("=")
+        # Accept the unambiguous abbreviations argparse accepts ("--plu",
+        # "--plugin", ...); "--pl" is the shortest prefix no other option
+        # shares.
+        if len(flag) >= 4 and "--plugins".startswith(flag) and flag.startswith("--"):
+            if eq:
+                values.append(inline)
+            elif index + 1 < len(tokens):
+                values.append(tokens[index + 1])
+    return values
+
+
 def main(argv: Sequence[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
     try:
+        # Plugins ($REPRO_PLUGINS and --plugins) load before the parser is
+        # built so plugin-registered experiments appear among the
+        # `repro figure` choices.
+        load_plugins()
+        for peeked in _peek_plugins(argv):
+            load_plugins(peeked)
+        args = build_parser().parse_args(argv)
+        if getattr(args, "plugins", None):
+            load_plugins(args.plugins)  # no-op when already peeked
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -12,36 +12,22 @@ Workloads come in two scales:
 
 from __future__ import annotations
 
+import numbers
 from dataclasses import dataclass, field
 
 from ..config import SystemConfig, paper_config
 from ..core.vitality import TensorVitalityAnalyzer, VitalityReport
 from ..errors import ConfigurationError
 from ..graph.training import TrainingGraph, expand_training
-from ..models.registry import FIGURE11_BATCH_SIZES, build_model, normalize_model_name
+from ..models.registry import build_model, normalize_model_name
 from ..profiling import perturb_trace, profile_training_graph
+from ..registry import MODEL_REGISTRY, POLICY_REGISTRY
 from ..baselines import make_policy
 from ..sim import ExecutionSimulator, SimulationResult
 
-#: Architecture overrides that shrink each model for CI-scale experiments.
-CI_OVERRIDES: dict[str, dict[str, object]] = {
-    "bert": {"num_layers": 3},
-    "vit": {"num_layers": 3},
-    "inceptionv3": {"image_size": 171},
-    "resnet152": {"stages": (2, 3, 6, 2)},
-    "senet154": {"stages": (2, 3, 6, 2)},
-}
-
-#: Footprint scale factor of each CI override relative to the full model.
-#: GPU and host capacities are multiplied by this factor so the memory
-#: pressure regime (M%) matches the paper-scale workload.
-CI_CAPACITY_SCALE: dict[str, float] = {
-    "bert": 0.25,
-    "vit": 0.25,
-    "inceptionv3": 0.33,
-    "resnet152": 0.25,
-    "senet154": 0.25,
-}
+#: Maximum profiling-noise seed accepted by the harness (stored in cache keys
+#: and JSON artifacts as a plain 32-bit value).
+MAX_SEED = 2**32 - 1
 
 
 @dataclass(frozen=True)
@@ -70,8 +56,19 @@ def clear_workload_cache() -> None:
 
 
 def default_batch_size(model: str) -> int:
-    """The Figure 11 batch size for a model."""
-    return FIGURE11_BATCH_SIZES[normalize_model_name(model)]
+    """The Figure 11 batch size for a model (its registered default).
+
+    Models registered without a ``default_batch_size`` must be run with an
+    explicit batch size.
+    """
+    key = normalize_model_name(model)
+    batch = MODEL_REGISTRY.metadata(key).get("default_batch_size")
+    if batch is None:
+        raise ConfigurationError(
+            f"model {key!r} has no registered default batch size; "
+            "pass batch_size explicitly"
+        )
+    return batch
 
 
 def scale_batch(batch_size: int, scale: str) -> int:
@@ -102,7 +99,7 @@ def default_config(model: str, scale: str = "paper") -> SystemConfig:
         raise ConfigurationError(f"unknown workload scale {scale!r}")
     config = paper_config()
     if scale == "ci":
-        factor = CI_CAPACITY_SCALE[normalize_model_name(model)]
+        factor = MODEL_REGISTRY.metadata(model).get("ci_capacity_scale", 1.0)
         config = config.with_gpu_memory(int(config.gpu.memory_bytes * factor))
         config = config.with_host_memory(int(config.host_memory_bytes * factor))
     return config
@@ -139,7 +136,7 @@ def build_workload(
     if cached is not None:
         return cached
 
-    overrides = CI_OVERRIDES[key] if scale == "ci" else {}
+    overrides = MODEL_REGISTRY.metadata(key).get("ci_overrides", {}) if scale == "ci" else {}
     graph = build_model(key, batch_size, **overrides)
     training = profile_training_graph(expand_training(graph), config)
     report = TensorVitalityAnalyzer(training).analyze()
@@ -155,27 +152,86 @@ def build_workload(
     return workload
 
 
+def canonicalize_cell_fields(
+    model: str,
+    policy: str | None,
+    batch_size: int | None,
+    scale: str,
+    profiling_error: float,
+    seed: int,
+) -> dict:
+    """The single canonicalization rule shared by ``SweepCell.resolved()``
+    and ``Scenario.resolved()``.
+
+    Normalizes the model and policy names through the registries, resolves
+    the effective batch size, and zeroes the (otherwise unused) seed when no
+    profiling noise is applied — one implementation, so sweep cache keys can
+    never drift from what a session actually executes.
+    """
+    model = normalize_model_name(model)
+    return {
+        "model": model,
+        "policy": None if policy is None else POLICY_REGISTRY.resolve(policy),
+        "batch_size": resolve_batch_size(model, scale, batch_size),
+        # int() keeps numpy seeds (np.int64 from a seed sweep) JSON-safe for
+        # cell serialization and the cache key.
+        "seed": int(seed) if profiling_error > 0 else 0,
+    }
+
+
+def validate_noise(profiling_error: float, seed: int) -> None:
+    """Reject out-of-range profiling-noise parameters.
+
+    Negative errors used to be silently treated as "no noise"; they are now a
+    :class:`~repro.errors.ConfigurationError`, as are errors >= 1 (the noise
+    model is multiplicative in ``[1 - e, 1 + e]``) and seeds outside the
+    32-bit range the cache key serializes.
+    """
+    if profiling_error < 0:
+        raise ConfigurationError(
+            f"profiling_error must be >= 0, got {profiling_error}"
+        )
+    if profiling_error >= 1:
+        raise ConfigurationError(
+            f"profiling_error must be < 1 (got {profiling_error}): "
+            "noise is multiplicative in [1 - e, 1 + e]"
+        )
+    if (
+        isinstance(seed, bool)
+        or not isinstance(seed, numbers.Integral)
+        or not 0 <= seed <= MAX_SEED
+    ):
+        raise ConfigurationError(
+            f"seed must be an integer in [0, {MAX_SEED}], got {seed!r}"
+        )
+
+
 def run_policy(
     workload: Workload,
     policy_name: str,
     config: SystemConfig | None = None,
     profiling_error: float = 0.0,
     seed: int = 0,
+    observers: tuple = (),
 ) -> SimulationResult:
     """Simulate one policy on one workload.
 
     ``profiling_error`` perturbs the kernel durations the *policy* plans with,
     while the simulator executes the unperturbed trace — exactly the §7.6
-    robustness experiment.
+    robustness experiment. ``observers`` are
+    :class:`~repro.sim.observer.SimObserver` instances notified of kernel and
+    migration events during the run.
     """
+    validate_noise(profiling_error, seed)
     config = config or workload.config
     policy = make_policy(policy_name)
     if profiling_error > 0:
         planning_graph = perturb_trace(workload.graph, profiling_error, seed)
         planning_report = TensorVitalityAnalyzer(planning_graph).analyze()
-        simulator = ExecutionSimulator(workload.graph, config, _PrePlanned(policy, planning_report), workload.report)
-    else:
-        simulator = ExecutionSimulator(workload.graph, config, policy, workload.report)
+        policy = _PrePlanned(policy, planning_report)
+    simulator = ExecutionSimulator(
+        workload.graph, config, policy, workload.report, observers=observers
+    )
     return simulator.run()
 
 

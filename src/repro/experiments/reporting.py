@@ -28,6 +28,7 @@ from typing import Callable, Iterable, Mapping, Sequence
 import numpy as np
 
 from ..errors import ConfigurationError, ReproError
+from ..registry import EXPERIMENT_REGISTRY
 from .sweep import SweepPlan, SweepRunner, SweepSpec
 from .figures import (
     figure2_memory_consumption,
@@ -171,39 +172,77 @@ def _render_table2(scale: str = "paper", runner: SweepRunner | None = None):
     return table2_configuration()
 
 
-#: Every figure/table of the reproduction, in the paper's order.
-EXPERIMENTS: tuple[Experiment, ...] = (
-    Experiment("2", "Figure 2 — memory consumption", figure2_memory_consumption, figure2_spec),
-    Experiment("3", "Figure 3 — inactive periods", figure3_inactive_periods, figure3_spec),
-    Experiment("4", "Figure 4 — size vs inactivity", figure4_size_vs_inactive, figure4_spec),
-    Experiment("11", "Figure 11 — end-to-end performance", figure11_end_to_end, figure11_spec, True),
-    Experiment("12", "Figure 12 — overlap/stall breakdown", figure12_breakdown, figure12_spec, True),
-    Experiment("13", "Figure 13 — per-kernel slowdown", figure13_kernel_slowdown, figure13_spec, True),
-    Experiment("14", "Figure 14 — migration traffic", figure14_traffic, figure14_spec, True),
-    Experiment("15", "Figure 15 — batch-size sweep", figure15_batch_sweep, figure15_spec, True),
-    Experiment("16", "Figure 16 — host-memory sensitivity", figure16_host_memory, figure16_spec, True),
-    Experiment("17", "Figure 17 — host-memory comparison", figure17_host_memory_compare, figure17_spec),
-    Experiment("18", "Figure 18 — SSD-bandwidth scaling", figure18_ssd_bandwidth, figure18_spec, True),
-    Experiment("19", "Figure 19 — profiling-error robustness", figure19_profiling_error, figure19_spec, True),
-    Experiment("lifetime", "§7.7 — SSD lifetime", section77_ssd_lifetime, section77_spec, True),
-    Experiment("table1", "Table 1 — model zoo", table1_models, table1_spec),
-    Experiment("table2", "Table 2 — system configuration", _render_table2, None),
-)
+def _register_builtin(experiment: Experiment, aliases: tuple[str, ...] = ()) -> None:
+    EXPERIMENT_REGISTRY.register(
+        experiment.id, lambda experiment=experiment: experiment,
+        aliases=aliases, title=experiment.title,
+    )
 
-#: Alternate spellings accepted by the CLI and report generator.
-EXPERIMENT_ALIASES: dict[str, str] = {"77": "lifetime"}
+
+# Every figure/table of the reproduction, registered in the paper's order.
+# Third-party experiments join through ``repro.registry.register_experiment``
+# and appear in :data:`EXPERIMENTS`, ``repro figure`` and ``repro report``.
+_register_builtin(Experiment("2", "Figure 2 — memory consumption", figure2_memory_consumption, figure2_spec))
+_register_builtin(Experiment("3", "Figure 3 — inactive periods", figure3_inactive_periods, figure3_spec))
+_register_builtin(Experiment("4", "Figure 4 — size vs inactivity", figure4_size_vs_inactive, figure4_spec))
+_register_builtin(Experiment("11", "Figure 11 — end-to-end performance", figure11_end_to_end, figure11_spec, True))
+_register_builtin(Experiment("12", "Figure 12 — overlap/stall breakdown", figure12_breakdown, figure12_spec, True))
+_register_builtin(Experiment("13", "Figure 13 — per-kernel slowdown", figure13_kernel_slowdown, figure13_spec, True))
+_register_builtin(Experiment("14", "Figure 14 — migration traffic", figure14_traffic, figure14_spec, True))
+_register_builtin(Experiment("15", "Figure 15 — batch-size sweep", figure15_batch_sweep, figure15_spec, True))
+_register_builtin(Experiment("16", "Figure 16 — host-memory sensitivity", figure16_host_memory, figure16_spec, True))
+_register_builtin(Experiment("17", "Figure 17 — host-memory comparison", figure17_host_memory_compare, figure17_spec))
+_register_builtin(Experiment("18", "Figure 18 — SSD-bandwidth scaling", figure18_ssd_bandwidth, figure18_spec, True))
+_register_builtin(Experiment("19", "Figure 19 — profiling-error robustness", figure19_profiling_error, figure19_spec, True))
+_register_builtin(
+    Experiment("lifetime", "§7.7 — SSD lifetime", section77_ssd_lifetime, section77_spec, True),
+    aliases=("77",),
+)
+_register_builtin(Experiment("table1", "Table 1 — model zoo", table1_models, table1_spec))
+_register_builtin(Experiment("table2", "Table 2 — system configuration", _render_table2, None))
+
+
+class _ExperimentView(Sequence):
+    """Live, ordered view of every registered experiment.
+
+    Kept as the importable :data:`EXPERIMENTS` name so existing callers (and
+    tests) keep iterating a sequence, while experiments registered after
+    import — e.g. by plugins — still show up.
+    """
+
+    def _experiments(self) -> list[Experiment]:
+        return [entry.factory() for entry in EXPERIMENT_REGISTRY]
+
+    def __iter__(self):
+        return iter(self._experiments())
+
+    def __getitem__(self, index):
+        return self._experiments()[index]
+
+    def __len__(self) -> int:
+        return len(EXPERIMENT_REGISTRY)
+
+    def __repr__(self) -> str:
+        return f"EXPERIMENTS({[e.id for e in self._experiments()]})"
+
+
+#: Every registered figure/table, in registration (= paper) order.
+EXPERIMENTS = _ExperimentView()
+
+#: Import-time snapshot of the built-in alias table, kept for backward
+#: compatibility. For live data (including plugin registrations) use
+#: :func:`experiment_ids` or ``EXPERIMENT_REGISTRY.aliases()``.
+EXPERIMENT_ALIASES: dict[str, str] = EXPERIMENT_REGISTRY.aliases()
+
+
+def experiment_ids() -> list[str]:
+    """Every accepted ``repro figure`` id: canonical ids plus aliases."""
+    return sorted(set(EXPERIMENT_REGISTRY.available()) | set(EXPERIMENT_REGISTRY.aliases()))
 
 
 def get_experiment(experiment_id: str) -> Experiment:
     """Look up an experiment by id (``"11"``, ``"table1"``, ``"77"``, ...)."""
-    canonical = EXPERIMENT_ALIASES.get(experiment_id, experiment_id)
-    for experiment in EXPERIMENTS:
-        if experiment.id == canonical:
-            return experiment
-    raise ConfigurationError(
-        f"unknown experiment {experiment_id!r}; "
-        f"available: {[e.id for e in EXPERIMENTS]}"
-    )
+    return EXPERIMENT_REGISTRY.create(experiment_id)
 
 
 def _resolve(figures: Sequence[str] | None) -> list[Experiment]:

@@ -36,10 +36,10 @@ import numpy as np
 from ..analysis.characterization import CharacterizationResult, characterize_workload
 from ..config import SystemConfig
 from ..errors import ConfigurationError
-from ..models.registry import normalize_model_name
+from ..registry import load_plugins
 from ..sim import SimulationResult
 from .cache import CACHE_SCHEMA_VERSION, ResultCache
-from .harness import build_workload, default_config, resolve_batch_size, run_policy
+from .harness import build_workload, canonicalize_cell_fields, default_config
 
 
 @dataclass(frozen=True)
@@ -99,19 +99,39 @@ class SweepCell:
     seed: int = 0
 
     def resolved(self) -> "SweepCell":
-        """Canonical form: normalized model name, explicit batch, seed zeroed
-        when no profiling noise is applied (the seed is unused then)."""
-        model = normalize_model_name(self.model)
+        """Canonical form: normalized model and policy names, explicit batch,
+        seed zeroed when no profiling noise is applied (the seed is unused
+        then). Alias spellings ("G10+Host", "uvm") share the canonical
+        cell's cache key, so they deduplicate and resume together."""
         return replace(
             self,
-            model=model,
-            batch_size=resolve_batch_size(model, self.scale, self.batch_size),
-            seed=self.seed if self.profiling_error > 0 else 0,
+            **canonicalize_cell_fields(
+                self.model, self.policy, self.batch_size,
+                self.scale, self.profiling_error, self.seed,
+            ),
         )
 
     def config(self) -> SystemConfig:
         """The exact system configuration this cell simulates."""
         return self.patch.apply(default_config(self.model, self.scale))
+
+    def scenario(self):
+        """This cell as a :class:`~repro.api.Scenario` (simulation cells only)."""
+        from ..api import Scenario
+
+        if self.policy is None:
+            raise ConfigurationError(
+                f"characterization cell {self} has no policy to build a scenario from"
+            )
+        return Scenario(
+            model=self.model,
+            policy=self.policy,
+            batch_size=self.batch_size,
+            scale=self.scale,
+            patch=self.patch,
+            profiling_error=self.profiling_error,
+            seed=self.seed,
+        )
 
     def cache_key(self) -> str:
         """Content hash over everything the cell's result depends on.
@@ -363,7 +383,13 @@ def execute_cell(cell: SweepCell) -> dict:
     patch only changes the configuration the policy is simulated under. That
     mirrors the paper's sensitivity studies, which profile each workload once
     and re-run the simulation as the system varies.
+
+    Simulation cells execute through a :class:`~repro.api.Session` — the same
+    path as ``Scenario(...).run()`` — so direct, sweep and CLI runs are
+    bit-identical. ``REPRO_PLUGINS`` modules are imported first so policies
+    and models registered out-of-tree resolve inside worker processes too.
     """
+    load_plugins()
     cell = cell.resolved()
     workload = build_workload(cell.model, cell.batch_size, cell.scale)
     meta = {
@@ -386,14 +412,7 @@ def execute_cell(cell: SweepCell) -> dict:
                 "inactive_period_bytes": char.inactive_period_bytes.tolist(),
             },
         }
-    config = None if cell.patch.is_empty() else cell.config()
-    result = run_policy(
-        workload,
-        cell.policy,
-        config=config,
-        profiling_error=cell.profiling_error,
-        seed=cell.seed,
-    )
+    result = cell.scenario().session().run().result
     return {"kind": "simulation", "workload": meta, "result": result.to_dict()}
 
 

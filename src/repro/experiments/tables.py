@@ -3,21 +3,39 @@
 from __future__ import annotations
 
 from ..config import GB, SystemConfig, paper_config
-from ..models.registry import FIGURE11_BATCH_SIZES, available_models, model_description
+from ..models.registry import available_models, model_description
+from ..registry import MODEL_REGISTRY
+from .harness import default_batch_size
 from .sweep import SweepCell, SweepRunner, SweepSpec
+
+
+def _table1_model_names() -> list[str]:
+    """Registered models with a default batch size (the Table 1 population).
+
+    Models registered without ``default_batch_size`` are legal — they just
+    require an explicit batch everywhere — so they are skipped here rather
+    than letting one third-party registration break table1/``repro report``.
+    """
+    return [
+        model
+        for model in available_models()
+        if MODEL_REGISTRY.metadata(model).get("default_batch_size") is not None
+    ]
 
 
 def table1_spec(scale: str = "paper", models=None) -> SweepSpec:
     """The characterization grid behind Table 1 (one cell per model)."""
     return SweepSpec(
         name="table1",
-        cells=tuple(SweepCell(model=model, policy=None, scale=scale) for model in available_models()),
+        cells=tuple(
+            SweepCell(model=model, policy=None, scale=scale) for model in _table1_model_names()
+        ),
     )
 
 
 def table1_models(scale: str = "paper", runner: SweepRunner | None = None) -> list[dict[str, object]]:
     """Table 1: evaluated DNN models, their kernel counts, sources and datasets."""
-    models = available_models()
+    models = _table1_model_names()
     rows: list[dict[str, object]] = []
     for model, out in zip(models, (runner or SweepRunner()).run(table1_spec(scale))):
         description = model_description(model)
@@ -27,7 +45,7 @@ def table1_models(scale: str = "paper", runner: SweepRunner | None = None) -> li
                 "kernels": out.workload["num_kernels"],
                 "source": description["source"],
                 "dataset": description["dataset"],
-                "batch_size": FIGURE11_BATCH_SIZES[model],
+                "batch_size": default_batch_size(model),
                 "memory_footprint_pct": round(100 * out.workload["memory_footprint_ratio"], 1),
             }
         )

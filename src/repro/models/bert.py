@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from ..graph.dataflow import DataflowGraph
 from ..graph.tensor import TensorInfo
+from ..registry import register_model
 from .builder import ModelBuilder
 
 #: Default architecture parameters for BERT-Base.
@@ -35,6 +36,16 @@ def _transformer_encoder_layer(
     return builder.layernorm(x, prefix="ffn_ln")
 
 
+@register_model(
+    "bert",
+    aliases=("bertbase",),
+    display="BERT",
+    source="Hugging Face",
+    dataset="CoLA",
+    default_batch_size=256,
+    ci_overrides={"num_layers": 3},
+    ci_capacity_scale=0.25,
+)
 def build_bert(
     batch_size: int,
     seq_len: int = BERT_BASE["seq_len"],

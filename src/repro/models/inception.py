@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from ..graph.dataflow import DataflowGraph
 from ..graph.tensor import TensorInfo
+from ..registry import register_model
 from .builder import ModelBuilder
 
 
@@ -85,6 +86,16 @@ def _inception_e(builder: ModelBuilder, x: TensorInfo) -> TensorInfo:
     return builder.concat([branch1, branch2a, branch2b, branch3a, branch3b, branch4])
 
 
+@register_model(
+    "inceptionv3",
+    aliases=("inception",),
+    display="Inceptionv3",
+    source="PyTorch Examples",
+    dataset="ImageNet",
+    default_batch_size=1536,
+    ci_overrides={"image_size": 171},
+    ci_capacity_scale=0.33,
+)
 def build_inceptionv3(
     batch_size: int,
     image_size: int = 299,

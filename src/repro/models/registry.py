@@ -1,64 +1,42 @@
-"""Registry mapping model names to builders (Table 1 of the paper)."""
+"""Model lookup backed by the open model registry (Table 1 of the paper).
+
+The builder dict this module used to hold is now
+:data:`repro.registry.MODEL_REGISTRY`: each built-in builder registers itself
+with ``@register_model`` (see ``bert.py`` et al.), carrying its Table 1
+metadata, Figure 11 batch size and CI-scale overrides, and third-party models
+plug in the same way without touching repro source::
+
+    from repro import register_model
+
+    @register_model("my_net", display="MyNet", default_batch_size=64)
+    def build_my_net(batch_size, **overrides): ...
+
+The functions below keep the historical call surface (``build_model``,
+``normalize_model_name``, ``available_models``, ``model_description``) on top
+of the registry.
+"""
 
 from __future__ import annotations
 
-from typing import Callable
-
-from ..errors import ModelError
 from ..graph.dataflow import DataflowGraph
-from .bert import build_bert
-from .inception import build_inceptionv3
-from .resnet import build_resnet152
-from .senet import build_senet154
-from .vit import build_vit
+from ..registry import MODEL_REGISTRY
 
-#: Builder callables keyed by canonical model name.
-_BUILDERS: dict[str, Callable[..., DataflowGraph]] = {
-    "bert": build_bert,
-    "vit": build_vit,
-    "inceptionv3": build_inceptionv3,
-    "resnet152": build_resnet152,
-    "senet154": build_senet154,
-}
-
-#: Human-readable descriptions, mirroring Table 1 (model, source, dataset).
-_DESCRIPTIONS: dict[str, dict[str, str]] = {
-    "bert": {"display": "BERT", "source": "Hugging Face", "dataset": "CoLA"},
-    "vit": {"display": "ViT", "source": "Hugging Face", "dataset": "ImageNet"},
-    "inceptionv3": {"display": "Inceptionv3", "source": "PyTorch Examples", "dataset": "ImageNet"},
-    "resnet152": {"display": "ResNet152", "source": "PyTorch Examples", "dataset": "ImageNet"},
-    "senet154": {"display": "SENet154", "source": "PyTorch Examples", "dataset": "ImageNet"},
-}
-
-#: Batch sizes used in the headline evaluation (Figure 11).
-FIGURE11_BATCH_SIZES: dict[str, int] = {
-    "bert": 256,
-    "vit": 1280,
-    "inceptionv3": 1536,
-    "resnet152": 1280,
-    "senet154": 1024,
-}
+# Importing the model modules is what registers the built-in zoo.
+from . import bert as _bert  # noqa: F401
+from . import inception as _inception  # noqa: F401
+from . import resnet as _resnet  # noqa: F401
+from . import senet as _senet  # noqa: F401
+from . import vit as _vit  # noqa: F401
 
 
 def available_models() -> list[str]:
-    """Canonical names of all models in the zoo."""
-    return sorted(_BUILDERS)
+    """Canonical names of all registered models (sorted)."""
+    return sorted(MODEL_REGISTRY.available())
 
 
 def normalize_model_name(name: str) -> str:
     """Map user-facing spellings ("ResNet-152", "VIT") to canonical keys."""
-    key = name.lower().replace("-", "").replace("_", "").replace(" ", "")
-    aliases = {
-        "bertbase": "bert",
-        "vitbase": "vit",
-        "inception": "inceptionv3",
-        "resnet": "resnet152",
-        "senet": "senet154",
-    }
-    key = aliases.get(key, key)
-    if key not in _BUILDERS:
-        raise ModelError(f"unknown model {name!r}; available: {available_models()}")
-    return key
+    return MODEL_REGISTRY.resolve(name)
 
 
 def build_model(name: str, batch_size: int, **overrides) -> DataflowGraph:
@@ -70,10 +48,24 @@ def build_model(name: str, batch_size: int, **overrides) -> DataflowGraph:
         **overrides: Architecture overrides forwarded to the builder (e.g.
             ``num_layers=2`` or ``image_size=64`` for scaled-down CI runs).
     """
-    key = normalize_model_name(name)
-    return _BUILDERS[key](batch_size, **overrides)
+    return MODEL_REGISTRY.create(name, batch_size, **overrides)
 
 
 def model_description(name: str) -> dict[str, str]:
     """Table 1 metadata for one model."""
-    return dict(_DESCRIPTIONS[normalize_model_name(name)])
+    metadata = MODEL_REGISTRY.metadata(name)
+    key = MODEL_REGISTRY.resolve(name)
+    return {
+        "display": metadata.get("display", key),
+        "source": metadata.get("source", "(custom)"),
+        "dataset": metadata.get("dataset", "(custom)"),
+    }
+
+
+#: Batch sizes used in the headline evaluation (Figure 11). Snapshot of the
+#: built-in zoo's registered defaults; open models registered later are
+#: resolved live through :func:`repro.experiments.harness.default_batch_size`.
+FIGURE11_BATCH_SIZES: dict[str, int] = {
+    name: MODEL_REGISTRY.metadata(name)["default_batch_size"]
+    for name in MODEL_REGISTRY.available()
+}

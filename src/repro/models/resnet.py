@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from ..graph.dataflow import DataflowGraph
 from ..graph.tensor import TensorInfo
+from ..registry import register_model
 from .builder import ModelBuilder
 
 #: Bottleneck block counts per stage for ResNet-152.
@@ -36,6 +37,16 @@ def _bottleneck(
     return builder.relu(out, inplace=True)
 
 
+@register_model(
+    "resnet152",
+    aliases=("resnet",),
+    display="ResNet152",
+    source="PyTorch Examples",
+    dataset="ImageNet",
+    default_batch_size=1280,
+    ci_overrides={"stages": (2, 3, 6, 2)},
+    ci_capacity_scale=0.25,
+)
 def build_resnet152(
     batch_size: int,
     image_size: int = 224,

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from ..graph.dataflow import DataflowGraph
 from ..graph.tensor import TensorInfo
+from ..registry import register_model
 from .builder import ModelBuilder
 
 #: Block counts per stage for SENet-154.
@@ -54,6 +55,16 @@ def _se_bottleneck(
     return builder.relu(out, inplace=True)
 
 
+@register_model(
+    "senet154",
+    aliases=("senet",),
+    display="SENet154",
+    source="PyTorch Examples",
+    dataset="ImageNet",
+    default_batch_size=1024,
+    ci_overrides={"stages": (2, 3, 6, 2)},
+    ci_capacity_scale=0.25,
+)
 def build_senet154(
     batch_size: int,
     image_size: int = 224,

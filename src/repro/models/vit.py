@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from ..graph.dataflow import DataflowGraph
 from .bert import _transformer_encoder_layer
+from ..registry import register_model
 from .builder import ModelBuilder
 
 #: Default architecture parameters for ViT-Base/16 on 224x224 ImageNet.
@@ -17,6 +18,16 @@ VIT_BASE = {
 }
 
 
+@register_model(
+    "vit",
+    aliases=("vitbase",),
+    display="ViT",
+    source="Hugging Face",
+    dataset="ImageNet",
+    default_batch_size=1280,
+    ci_overrides={"num_layers": 3},
+    ci_capacity_scale=0.25,
+)
 def build_vit(
     batch_size: int,
     image_size: int = VIT_BASE["image_size"],

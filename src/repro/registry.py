@@ -1,0 +1,397 @@
+"""Open, decorator-based registries for policies, models and experiments.
+
+The reproduction used to construct policies and models through closed
+module-private dicts; extending the system meant editing repro source. This
+module replaces those dicts with three open :class:`Registry` instances —
+:data:`POLICY_REGISTRY`, :data:`MODEL_REGISTRY` and :data:`EXPERIMENT_REGISTRY`
+— so third-party code plugs in with a decorator::
+
+    from repro import register_policy
+    from repro.baselines import BaseUVMPolicy
+
+    @register_policy("my_policy", aliases=("mine",), display="My Policy")
+    class MyPolicy(BaseUVMPolicy):
+        name = "My Policy"
+
+    # immediately runnable through the Scenario API and the CLI:
+    from repro import Scenario
+    Scenario("bert", scale="ci").on_policy("my_policy").run()
+
+Every registry supports:
+
+* **decorator and direct registration** — ``@register_policy("name")`` over a
+  class, or ``register_policy("name", factory)`` for lambdas/closures;
+* **alias tables** — paper-style labels (``"G10+Host"``, ``"Base UVM"``,
+  ``"DeepUM+"``) resolve to canonical keys through a per-registry name
+  normalizer plus explicit aliases;
+* **introspection** — :meth:`Registry.available`, :meth:`Registry.describe`
+  and :meth:`Registry.describe_all` back ``repro run --list-policies`` and
+  ``--list-models``;
+* **hygiene** — duplicate registration raises (pass ``replace=True`` to
+  shadow deliberately), unknown names raise with the available alternatives
+  and a did-you-mean suggestion, and :meth:`Registry.unregister` keeps tests
+  clean.
+
+Built-in entries self-register when their defining module is imported; each
+registry lazily imports that module on first use (the *bootstrap*), so
+``POLICY_REGISTRY.create("g10")`` works even when ``repro.baselines`` has not
+been imported yet.
+
+Out-of-tree plugins can be loaded by name through :func:`load_plugins` or the
+``REPRO_PLUGINS`` environment variable (a comma-separated list of importable
+modules), which the CLI and the sweep worker processes both honour.
+"""
+
+from __future__ import annotations
+
+import difflib
+import importlib
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from .errors import ConfigurationError, ModelError, ReproError
+
+_SEPARATORS = re.compile(r"[\s\-+./]+")
+
+
+def normalize_token(name: str) -> str:
+    """Canonicalize a user-facing name: lowercase, separators to ``_``.
+
+    ``"G10+Host"`` → ``"g10_host"``, ``"Base UVM"`` → ``"base_uvm"``,
+    ``"DeepUM+"`` → ``"deepum"`` (trailing separators are stripped).
+    """
+    key = _SEPARATORS.sub("_", str(name).strip().lower())
+    key = re.sub(r"_+", "_", key).strip("_")
+    return key
+
+
+def squash_token(name: str) -> str:
+    """Canonicalize by *removing* separators: ``"ResNet-152"`` → ``"resnet152"``.
+
+    This is the historical model-name normalization, kept so every spelling
+    that used to resolve still does.
+    """
+    return normalize_token(name).replace("_", "")
+
+
+@dataclass
+class RegistryEntry:
+    """One registered object plus its lookup and documentation metadata."""
+
+    name: str
+    factory: Callable[..., Any]
+    aliases: tuple[str, ...] = ()
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-safe metadata used by ``--list-*`` and :meth:`Registry.describe`."""
+        info: dict[str, Any] = {"name": self.name, "aliases": list(self.aliases)}
+        info.update(self.metadata)
+        return info
+
+
+class Registry:
+    """An ordered, open mapping from canonical names to factories.
+
+    Args:
+        kind: Human-readable noun used in error messages ("policy", "model").
+        normalize: Name canonicalization applied to every registered name,
+            alias and lookup (default :func:`normalize_token`).
+        bootstrap: Dotted module path imported lazily before the first
+            lookup/listing; importing it must register the built-in entries.
+        error_cls: Exception type raised on failed lookups and duplicate
+            registrations (must be a :class:`~repro.errors.ReproError`).
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        normalize: Callable[[str], str] = normalize_token,
+        bootstrap: str | None = None,
+        error_cls: type[ReproError] = ConfigurationError,
+    ) -> None:
+        self.kind = kind
+        self._normalize = normalize
+        self._bootstrap_module = bootstrap
+        self._bootstrapped = bootstrap is None
+        self._error_cls = error_cls
+        self._entries: dict[str, RegistryEntry] = {}
+        self._aliases: dict[str, str] = {}
+
+    # -- registration ---------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        obj: Callable[..., Any] | None = None,
+        *,
+        aliases: tuple[str, ...] | list[str] = (),
+        replace: bool = False,
+        **metadata: Any,
+    ):
+        """Register ``obj`` under ``name``; usable as a decorator.
+
+        ``@registry.register("name", aliases=("other",), display="Name")``
+        decorates a class or function; ``registry.register("name", factory)``
+        registers directly. Returns the registered object (decorator form) so
+        the definition is unchanged.
+        """
+
+        def _register(target: Callable[..., Any]) -> Callable[..., Any]:
+            key = self._normalize(name)
+            if not key:
+                raise self._error_cls(f"{self.kind} name cannot be empty: {name!r}")
+            self._ensure_bootstrapped()
+            if not replace and (key in self._entries or key in self._aliases):
+                raise self._error_cls(
+                    f"{self.kind} {name!r} is already registered"
+                    f" (canonical key {key!r}); pass replace=True to shadow it"
+                )
+            alias_keys = tuple(dict.fromkeys(self._normalize(a) for a in aliases))
+            for alias in alias_keys:
+                owner = self._aliases.get(alias)
+                if not replace and ((alias in self._entries and alias != key) or (owner and owner != key)):
+                    raise self._error_cls(
+                        f"{self.kind} alias {alias!r} for {name!r} collides with "
+                        f"an existing registration"
+                    )
+            if replace:
+                # Shadowing must really shadow: drop an alias binding that
+                # would otherwise keep resolving the name to its old owner,
+                # and the aliases of any entry being replaced outright. Any
+                # alias taken over (the new name itself, or one of its
+                # aliases) is also removed from the previous owner's entry so
+                # introspection (describe/--list-*) matches what resolves.
+                for taken in (key, *alias_keys):
+                    owner_key = self._aliases.pop(taken, None)
+                    if owner_key is not None and owner_key != key:
+                        owner = self._entries.get(owner_key)
+                        if owner is not None:
+                            owner.aliases = tuple(a for a in owner.aliases if a != taken)
+                    if taken != key and taken in self._entries:
+                        # A new alias shadows a whole canonical entry: the
+                        # entry would resolve to the new registration anyway
+                        # (alias lookup wins), so drop it rather than keep an
+                        # unreachable row in describe_all()/--list-*.
+                        shadowed = self._entries.pop(taken)
+                        for alias in shadowed.aliases:
+                            if self._aliases.get(alias) == taken:
+                                del self._aliases[alias]
+                previous = self._entries.get(key)
+                if previous is not None:
+                    for alias in previous.aliases:
+                        if self._aliases.get(alias) == key and alias not in alias_keys:
+                            del self._aliases[alias]
+            self._entries[key] = RegistryEntry(
+                name=key, factory=target, aliases=alias_keys, metadata=dict(metadata)
+            )
+            for alias in alias_keys:
+                if alias != key:
+                    self._aliases[alias] = key
+            return target
+
+        if obj is None:
+            return _register
+        return _register(obj)
+
+    def unregister(self, name: str) -> None:
+        """Remove one registration and its aliases (no-op for unknown names)."""
+        key = self._normalize(name)
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            for alias in entry.aliases:
+                if self._aliases.get(alias) == key:
+                    del self._aliases[alias]
+
+    # -- lookup ---------------------------------------------------------------
+
+    def resolve(self, name: str) -> str:
+        """Canonical key for any accepted spelling; raises on unknown names."""
+        self._ensure_bootstrapped()
+        key = self._normalize(name)
+        key = self._aliases.get(key, key)
+        if key not in self._entries:
+            raise self._error_cls(self._unknown_message(name, key))
+        return key
+
+    def get(self, name: str) -> Callable[..., Any]:
+        """The registered factory for ``name``."""
+        return self._entries[self.resolve(name)].factory
+
+    def create(self, name: str, *args: Any, **kwargs: Any) -> Any:
+        """Instantiate ``name``'s factory with the given arguments."""
+        return self.get(name)(*args, **kwargs)
+
+    def entry(self, name: str) -> RegistryEntry:
+        """The full :class:`RegistryEntry` for ``name``."""
+        return self._entries[self.resolve(name)]
+
+    def metadata(self, name: str) -> dict[str, Any]:
+        """The metadata dict captured at registration time."""
+        return self.entry(name).metadata
+
+    def describe(self, name: str) -> dict[str, Any]:
+        """Name, aliases and metadata of one entry (JSON-safe)."""
+        return self.entry(name).describe()
+
+    def describe_all(self) -> list[dict[str, Any]]:
+        """:meth:`describe` for every entry, in registration order."""
+        self._ensure_bootstrapped()
+        return [entry.describe() for entry in self._entries.values()]
+
+    def available(self) -> list[str]:
+        """Canonical names in registration order."""
+        self._ensure_bootstrapped()
+        return list(self._entries)
+
+    def aliases(self) -> dict[str, str]:
+        """Alias → canonical-name table."""
+        self._ensure_bootstrapped()
+        return dict(self._aliases)
+
+    def __contains__(self, name: str) -> bool:
+        try:
+            self.resolve(name)
+        except ReproError:
+            return False
+        return True
+
+    def __iter__(self) -> Iterator[RegistryEntry]:
+        self._ensure_bootstrapped()
+        return iter(list(self._entries.values()))
+
+    def __len__(self) -> int:
+        self._ensure_bootstrapped()
+        return len(self._entries)
+
+    # -- internals ------------------------------------------------------------
+
+    def _ensure_bootstrapped(self) -> None:
+        if not self._bootstrapped:
+            # Flip first: the bootstrap module registers entries through this
+            # registry, and must not recurse back into the import. Reset on
+            # failure so a later call retries instead of reporting a
+            # misleading empty registry (Python drops failed modules from
+            # sys.modules, so the retry re-executes the import).
+            self._bootstrapped = True
+            try:
+                importlib.import_module(self._bootstrap_module)
+            except BaseException:
+                self._bootstrapped = False
+                raise
+
+    def _unknown_message(self, name: str, key: str) -> str:
+        candidates = sorted(set(self._entries) | set(self._aliases))
+        message = f"unknown {self.kind} {name!r}; available: {sorted(self._entries)}"
+        suggestions = difflib.get_close_matches(key, candidates, n=2, cutoff=0.6)
+        if suggestions:
+            resolved = sorted({self._aliases.get(s, s) for s in suggestions})
+            message += f" (did you mean {' or '.join(repr(s) for s in resolved)}?)"
+        return message
+
+
+#: Migration policies (``repro.baselines`` registers the built-ins).
+POLICY_REGISTRY = Registry("policy", bootstrap="repro.baselines")
+
+#: DNN model builders (``repro.models`` registers the Table 1 zoo).
+MODEL_REGISTRY = Registry(
+    "model", normalize=squash_token, bootstrap="repro.models", error_cls=ModelError
+)
+
+#: Figure/table experiments (``repro.experiments.reporting`` registers them).
+EXPERIMENT_REGISTRY = Registry("experiment", bootstrap="repro.experiments.reporting")
+
+#: Decorator registering a migration-policy factory (class or zero-arg callable).
+register_policy = POLICY_REGISTRY.register
+
+#: Decorator registering a model builder ``(batch_size, **overrides) -> DataflowGraph``.
+register_model = MODEL_REGISTRY.register
+
+
+def register_experiment(
+    experiment: Any = None,
+    *,
+    id: str | None = None,
+    title: str | None = None,
+    spec: Callable[..., Any] | None = None,
+    supports_models: bool = False,
+    aliases: tuple[str, ...] | list[str] = (),
+    replace: bool = False,
+):
+    """Register an experiment (a renderer plus optional sweep-spec builder).
+
+    Two forms are accepted::
+
+        register_experiment(Experiment("11", "Figure 11", render, spec))
+
+        @register_experiment(id="my_exp", title="My experiment", spec=my_spec)
+        def render_my_exp(scale="ci", runner=None): ...
+
+    Registered experiments appear in ``repro figure``/``repro report`` and in
+    :data:`repro.experiments.reporting.EXPERIMENTS` alongside the built-ins.
+    """
+    from .experiments.reporting import Experiment
+
+    def _register(render: Callable[..., Any]) -> Any:
+        exp = Experiment(
+            id=str(id), title=title or str(id), render=render,
+            spec=spec, supports_models=supports_models,
+        )
+        EXPERIMENT_REGISTRY.register(
+            exp.id, lambda exp=exp: exp, aliases=aliases, replace=replace, title=exp.title
+        )
+        return render
+
+    if experiment is not None:
+        if not hasattr(experiment, "id"):
+            raise ConfigurationError(
+                "register_experiment takes an Experiment instance or keyword "
+                f"arguments, got {experiment!r}"
+            )
+        exp = experiment
+        EXPERIMENT_REGISTRY.register(
+            exp.id, lambda exp=exp: exp, aliases=aliases, replace=replace, title=exp.title
+        )
+        return experiment
+    if id is None:
+        raise ConfigurationError("register_experiment requires an id")
+    return _register
+
+
+_loaded_plugins: set[str] = set()
+
+
+def load_plugins(modules: str | list[str] | tuple[str, ...] | None = None) -> list[str]:
+    """Import plugin modules so their registrations become visible.
+
+    ``modules`` may be a comma-separated string or a sequence of importable
+    module paths; ``None`` reads the ``REPRO_PLUGINS`` environment variable.
+    Importing a module is what registers its policies/models/experiments.
+    Idempotent per module. Returns the list of modules imported by this call.
+
+    Explicitly loaded modules are appended to ``REPRO_PLUGINS`` so that sweep
+    worker processes — which call ``load_plugins()`` with no arguments, and
+    on spawn-based start methods inherit only the environment — re-import
+    them and resolve the same registrations.
+    """
+    from_env = modules is None
+    if from_env:
+        modules = os.environ.get("REPRO_PLUGINS", "")
+    if isinstance(modules, str):
+        modules = [m.strip() for m in modules.split(",") if m.strip()]
+    imported: list[str] = []
+    for module in modules:
+        if module in _loaded_plugins:
+            continue
+        try:
+            importlib.import_module(module)
+        except ImportError as exc:
+            raise ConfigurationError(f"cannot import plugin module {module!r}: {exc}") from exc
+        _loaded_plugins.add(module)
+        imported.append(module)
+    if imported and not from_env:
+        current = [m.strip() for m in os.environ.get("REPRO_PLUGINS", "").split(",") if m.strip()]
+        os.environ["REPRO_PLUGINS"] = ",".join(dict.fromkeys(current + imported))
+    return imported

@@ -10,6 +10,7 @@ per kernel. Policies (``repro.baselines``) decide which tensors move when.
 from .results import KernelTiming, SimulationResult
 from .executor import ExecutionSimulator
 from .engine import EventQueue, Event
+from .observer import SimObserver, TraceRecorder
 
 __all__ = [
     "KernelTiming",
@@ -17,4 +18,6 @@ __all__ = [
     "ExecutionSimulator",
     "EventQueue",
     "Event",
+    "SimObserver",
+    "TraceRecorder",
 ]

@@ -5,6 +5,7 @@ from __future__ import annotations
 import heapq
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..config import SystemConfig
 from ..core.vitality import TensorVitalityAnalyzer, VitalityReport
@@ -16,6 +17,7 @@ from ..uvm.fault import PageFaultModel
 from ..uvm.memory import MemoryPool
 from ..uvm.migration import MigrationEngine, MigrationKind, MigrationRequest
 from ..uvm.page_table import MemoryLocation, UnifiedPageTable
+from .observer import SimObserver
 from .policy import MigrationDecision, MigrationPolicy, PolicyContext
 from .results import KernelTiming, SimulationResult
 
@@ -44,6 +46,10 @@ class ExecutionSimulator:
     starts only once all of its tensors are resident in GPU memory and its
     outputs have space; every byte moved is timed by the migration engine; any
     waiting shows up as per-kernel stall time in the result.
+
+    ``observers`` (:class:`~repro.sim.observer.SimObserver`) are notified of
+    every kernel start/finish and every migration submission, so
+    instrumentation no longer requires subclassing a policy.
     """
 
     def __init__(
@@ -52,6 +58,7 @@ class ExecutionSimulator:
         config: SystemConfig,
         policy: MigrationPolicy,
         report: VitalityReport | None = None,
+        observers: Sequence[SimObserver] = (),
     ):
         if any(k.duration <= 0 for k in graph.kernels):
             raise SimulationError("graph must be profiled before simulation")
@@ -59,6 +66,7 @@ class ExecutionSimulator:
         self._config = config
         self._policy = policy
         self._report = report or TensorVitalityAnalyzer(graph).analyze()
+        self._observers: list[SimObserver] = list(observers)
 
         gpu_capacity = config.gpu.memory_bytes if policy.enforce_capacity else _UNLIMITED
         self._gpu = MemoryPool("gpu", gpu_capacity, config.uvm.page_size)
@@ -102,6 +110,10 @@ class ExecutionSimulator:
     def page_table(self) -> UnifiedPageTable:
         return self._page_table
 
+    def add_observer(self, observer: SimObserver) -> None:
+        """Attach one more observer before (or during) the run."""
+        self._observers.append(observer)
+
     def run(self) -> SimulationResult:
         """Simulate one training iteration and return the result."""
         try:
@@ -139,17 +151,20 @@ class ExecutionSimulator:
             for tensor_id in kernel.tensor_ids:
                 ready = max(ready, self._ensure_resident(tensor_id, protected, now))
 
+            for observer in self._observers:
+                observer.on_kernel_start(kernel, ready)
             stall = ready - now
             finish = ready + kernel.duration
-            timings.append(
-                KernelTiming(
-                    index=kernel.index,
-                    ideal_duration=kernel.duration,
-                    stall=stall,
-                    start_time=ready,
-                )
+            timing = KernelTiming(
+                index=kernel.index,
+                ideal_duration=kernel.duration,
+                stall=stall,
+                start_time=ready,
             )
+            timings.append(timing)
             now = finish
+            for observer in self._observers:
+                observer.on_kernel_finish(kernel, timing, now)
 
             for tensor_id in kernel.tensor_ids:
                 self._last_used[tensor_id] = now
@@ -236,7 +251,7 @@ class ExecutionSimulator:
         )
         overhead = self._fault_model.fault_overhead(size)
         self._fault_events += self._fault_model.fault_batches(size)
-        completion = self._engine.submit(request, max(now, space_ready) + overhead)
+        completion = self._submit(request, max(now, space_ready) + overhead)
         self._release_remote_copy(tensor_id, location)
         self._page_table.place(tensor_id, MemoryLocation.GPU)
         self._arrival_time[tensor_id] = completion
@@ -271,7 +286,7 @@ class ExecutionSimulator:
             destination=MemoryLocation.GPU,
             kind=MigrationKind.PREFETCH,
         )
-        completion = self._engine.submit(request, now)
+        completion = self._submit(request, now)
         self._release_remote_copy(tensor_id, location)
         self._page_table.place(tensor_id, MemoryLocation.GPU)
         self._arrival_time[tensor_id] = completion
@@ -304,13 +319,20 @@ class ExecutionSimulator:
             destination=target,
             kind=MigrationKind.EVICTION,
         )
-        completion = self._engine.submit(request, now)
+        completion = self._submit(request, now)
         if target is MemoryLocation.HOST:
             self._host.allocate(tensor_id, size)
         self._page_table.place(tensor_id, target)
         self._evicting[tensor_id] = _PendingEviction(completion, tensor_id, size)
         heapq.heappush(self._eviction_heap, (completion, tensor_id))
         self._arrival_time.pop(tensor_id, None)
+        return completion
+
+    def _submit(self, request: MigrationRequest, when: float) -> float:
+        """Submit a migration to the engine, notifying observers."""
+        completion = self._engine.submit(request, when)
+        for observer in self._observers:
+            observer.on_migration(request, when, completion)
         return completion
 
     def _release_remote_copy(self, tensor_id: int, location: MemoryLocation) -> None:

@@ -251,3 +251,71 @@ class TestModuleEntryPoint:
         assert results["bert"]["g10"] > results["bert"]["base_uvm"]
         # The default cache landed in the working directory.
         assert (tmp_path / ".repro_cache").is_dir()
+
+
+class TestRegistryListings:
+    def test_list_policies(self, capsys):
+        assert run_cli("run", "--list-policies") == 0
+        out = capsys.readouterr().out
+        for name in ("ideal", "base_uvm", "deepum", "flashneuron",
+                     "g10", "g10_gds", "g10_host"):
+            assert name in out
+        assert "G10-GDS" in out  # display labels shown alongside keys
+
+    def test_list_models(self, capsys):
+        assert run_cli("run", "--list-models") == 0
+        out = capsys.readouterr().out
+        for name in ("bert", "vit", "inceptionv3", "resnet152", "senet154"):
+            assert name in out
+        assert "Hugging Face / CoLA" in out
+
+    def test_run_without_model_or_listing_is_an_error(self, capsys):
+        assert run_cli("run") == 2
+        assert "--model" in capsys.readouterr().err
+
+    def test_paper_style_policy_label_accepted(self, capsys):
+        # "G10+Host" used to normalize to "g10host" and be rejected.
+        assert run_cli("run", "--model", "bert", "--policy", "G10+Host",
+                       "--scale", "ci", "--no-cache") == 0
+        assert "G10-Host" in capsys.readouterr().out
+
+    def test_plugins_flag_experiment_selectable_as_figure(self, tmp_path, capsys, monkeypatch):
+        """--plugins loads before the parser, so plugin experiment ids parse."""
+        plugin = tmp_path / "cli_exp_plugin.py"
+        plugin.write_text(
+            "from repro import register_experiment\n"
+            "@register_experiment(id='plugin_exp', title='Plugin experiment',\n"
+            "                     replace=True)\n"
+            "def render(scale='ci', runner=None):\n"
+            "    return {'scale': scale}\n"
+        )
+        monkeypatch.syspath_prepend(str(tmp_path))
+        monkeypatch.setenv("REPRO_PLUGINS", "")  # restored after the test
+        from repro.registry import EXPERIMENT_REGISTRY
+        try:
+            assert run_cli("figure", "plugin_exp", "--scale", "ci", "--no-cache",
+                           "--plugins", "cli_exp_plugin") == 0
+            assert json.loads(capsys.readouterr().out) == {"scale": "ci"}
+        finally:
+            EXPERIMENT_REGISTRY.unregister("plugin_exp")
+
+    def test_plugins_flag_registers_policy(self, tmp_path, capsys, monkeypatch):
+        plugin = tmp_path / "cli_test_plugin.py"
+        plugin.write_text(
+            "from repro import register_policy\n"
+            "from repro.baselines import BaseUVMPolicy\n"
+            "@register_policy('cli_plugin_policy', replace=True)\n"
+            "class CliPluginPolicy(BaseUVMPolicy):\n"
+            "    name = 'CLI Plugin Policy'\n"
+        )
+        monkeypatch.syspath_prepend(str(tmp_path))
+        monkeypatch.setenv("REPRO_PLUGINS", "")  # restored after the test
+        from repro.registry import POLICY_REGISTRY
+        try:
+            assert run_cli(
+                "run", "--model", "bert", "--policy", "cli_plugin_policy",
+                "--scale", "ci", "--no-cache", "--plugins", "cli_test_plugin",
+            ) == 0
+            assert "CLI Plugin Policy" in capsys.readouterr().out
+        finally:
+            POLICY_REGISTRY.unregister("cli_plugin_policy")

@@ -1,0 +1,64 @@
+"""Smoke tests executing every example script end-to-end.
+
+The examples are the public face of the library API; running them in CI
+(each in a fresh interpreter, exactly as a user would) guards the Scenario
+quickstart path against regressions that unit tests structured around
+internals might miss.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+def run_example(path: Path, *argv: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    return subprocess.run(
+        [sys.executable, str(path), *argv],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+
+
+def test_every_example_is_covered():
+    names = {path.name for path in EXAMPLES}
+    assert names == {"quickstart.py", "compare_designs.py", "inspect_migration_plan.py"}, (
+        "new example added: extend the smoke assertions below"
+    )
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(example):
+    proc = run_example(example)
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stderr == ""
+
+
+def test_quickstart_output_shape():
+    out = run_example(REPO_ROOT / "examples" / "quickstart.py").stdout
+    assert "Workload: BERT-64" in out
+    assert "Smart tensor migration plan" in out
+    for policy in ("Ideal", "Base UVM", "DeepUM+", "G10"):
+        assert policy in out
+    assert "SimObserver" in out and "prefetches" in out
+
+
+def test_compare_designs_output_shape():
+    out = run_example(REPO_ROOT / "examples" / "compare_designs.py").stdout
+    assert "Normalized training performance" in out
+    for model in ("bert", "vit", "inceptionv3", "resnet152", "senet154"):
+        assert model in out
+    assert "ssd_lifetime_years" in out

@@ -1,0 +1,420 @@
+"""Tests for the open registry subsystem (repro.registry).
+
+Covers the generic :class:`~repro.registry.Registry` semantics, the policy /
+model alias tables (including the paper-style labels the old closed factory
+mishandled), and the headline openness contract: a policy registered in this
+test file — without editing any repro module — runs end-to-end through the
+:class:`~repro.Scenario` API and the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import Scenario, register_model, register_policy
+from repro.baselines import (
+    BaseUVMPolicy,
+    DeepUMPolicy,
+    FlashNeuronPolicy,
+    G10Policy,
+    IdealPolicy,
+    available_policies,
+    make_policy,
+    normalize_policy_name,
+)
+from repro.baselines.g10 import G10Variant
+from repro.cli import main as cli_main
+from repro.errors import ConfigurationError, ModelError
+from repro.experiments.reporting import EXPERIMENTS, get_experiment
+from repro.models import available_models, build_model
+from repro.models.builder import ModelBuilder
+from repro.registry import (
+    EXPERIMENT_REGISTRY,
+    MODEL_REGISTRY,
+    POLICY_REGISTRY,
+    Registry,
+    load_plugins,
+    normalize_token,
+    register_experiment,
+    squash_token,
+)
+
+
+class TestNormalization:
+    @pytest.mark.parametrize(
+        "label,expected",
+        [
+            ("G10+Host", "g10_host"),
+            ("G10-GDS", "g10_gds"),
+            ("Base UVM", "base_uvm"),
+            ("FlashNeuron", "flashneuron"),
+            ("DeepUM+", "deepum"),
+            ("  g10  ", "g10"),
+            ("G10 + Host", "g10_host"),
+        ],
+    )
+    def test_policy_labels(self, label, expected):
+        assert normalize_token(label) == expected
+
+    def test_squash_removes_separators(self):
+        assert squash_token("ResNet-152") == "resnet152"
+        assert squash_token("SENet_154") == "senet154"
+
+
+class TestGenericRegistry:
+    def test_decorator_and_direct_registration(self):
+        registry = Registry("thing")
+
+        @registry.register("alpha", aliases=("first",), rank=1)
+        def make_alpha():
+            return "alpha!"
+
+        registry.register("beta", lambda: "beta!")
+        assert registry.available() == ["alpha", "beta"]
+        assert registry.create("alpha") == "alpha!"
+        assert registry.create("first") == "alpha!"
+        assert registry.describe("alpha") == {"name": "alpha", "aliases": ["first"], "rank": 1}
+
+    def test_duplicate_registration_rejected(self):
+        registry = Registry("thing")
+        registry.register("alpha", lambda: 1)
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.register("alpha", lambda: 2)
+        # normalized collisions are duplicates too
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.register("Alpha", lambda: 3)
+
+    def test_alias_collision_rejected(self):
+        registry = Registry("thing")
+        registry.register("alpha", lambda: 1, aliases=("a",))
+        with pytest.raises(ConfigurationError, match="collides"):
+            registry.register("beta", lambda: 2, aliases=("a",))
+
+    def test_replace_shadows_existing(self):
+        registry = Registry("thing")
+        registry.register("alpha", lambda: 1)
+        registry.register("alpha", lambda: 2, replace=True)
+        assert registry.create("alpha") == 2
+
+    def test_replace_over_alias_really_shadows(self):
+        registry = Registry("thing")
+        registry.register("alpha", lambda: "old", aliases=("a",))
+        registry.register("a", lambda: "new", replace=True)
+        assert registry.create("a") == "new"  # no longer resolves to alpha
+        assert registry.create("alpha") == "old"
+
+    def test_replace_drops_stale_aliases_of_replaced_entry(self):
+        registry = Registry("thing")
+        registry.register("alpha", lambda: "old", aliases=("a", "al"))
+        registry.register("alpha", lambda: "new", aliases=("a",), replace=True)
+        assert registry.create("a") == "new"
+        assert "al" not in registry
+
+    def test_unknown_name_lists_alternatives_and_suggests(self):
+        registry = Registry("thing")
+        registry.register("gamma_ray", lambda: 1)
+        registry.register("delta", lambda: 2)
+        with pytest.raises(ConfigurationError) as excinfo:
+            registry.get("gama_ray")
+        message = str(excinfo.value)
+        assert "gamma_ray" in message and "delta" in message
+        assert "did you mean 'gamma_ray'" in message
+
+    def test_unregister_removes_entry_and_aliases(self):
+        registry = Registry("thing")
+        registry.register("alpha", lambda: 1, aliases=("a",))
+        registry.unregister("alpha")
+        assert "alpha" not in registry
+        assert "a" not in registry
+        registry.register("alpha", lambda: 2, aliases=("a",))  # reusable again
+        assert registry.create("a") == 2
+
+    def test_contains_and_len(self):
+        registry = Registry("thing")
+        assert len(registry) == 0
+        registry.register("alpha", lambda: 1)
+        assert "ALPHA" in registry and "nope" not in registry
+        assert len(registry) == 1
+
+
+class TestPolicyRegistry:
+    @pytest.mark.parametrize(
+        "label,expected",
+        [
+            ("G10+Host", "g10_host"),
+            ("G10-GDS", "g10_gds"),
+            ("Base UVM", "base_uvm"),
+            ("FlashNeuron", "flashneuron"),
+            ("DeepUM+", "deepum"),
+            ("g10_full", "g10"),
+            ("uvm", "base_uvm"),
+        ],
+    )
+    def test_paper_labels_resolve(self, label, expected):
+        assert normalize_policy_name(label) == expected
+
+    def test_g10_host_label_constructs_host_variant(self):
+        # The old closed factory normalized "G10+Host" to "g10host" and raised.
+        policy = make_policy("G10+Host")
+        assert isinstance(policy, G10Policy)
+        assert policy.describe()["variant"] == G10Variant.HOST.name
+
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("ideal", IdealPolicy),
+            ("base_uvm", BaseUVMPolicy),
+            ("deepum", DeepUMPolicy),
+            ("flashneuron", FlashNeuronPolicy),
+            ("g10", G10Policy),
+        ],
+    )
+    def test_builtins_registered(self, name, cls):
+        assert isinstance(POLICY_REGISTRY.create(name), cls)
+
+    def test_available_policies_contains_builtins(self):
+        assert {"ideal", "base_uvm", "deepum", "flashneuron",
+                "g10", "g10_gds", "g10_host"} <= set(available_policies())
+
+    def test_unknown_policy_suggests_alternative(self):
+        with pytest.raises(ConfigurationError, match="did you mean .*'g10_host'"):
+            make_policy("g10_hots")
+
+    def test_describe_carries_display_metadata(self):
+        info = POLICY_REGISTRY.describe("G10-GDS")
+        assert info["name"] == "g10_gds"
+        assert info["display"] == "G10-GDS"
+
+
+class TestModelRegistry:
+    def test_builtins_registered_with_metadata(self):
+        for name in ("bert", "vit", "inceptionv3", "resnet152", "senet154"):
+            info = MODEL_REGISTRY.describe(name)
+            assert info["default_batch_size"] > 0
+            assert "ci_overrides" in info and "ci_capacity_scale" in info
+
+    def test_unknown_model_raises_model_error(self):
+        with pytest.raises(ModelError, match="available"):
+            MODEL_REGISTRY.resolve("alexnet")
+
+
+@pytest.fixture
+def scripted_policy():
+    """Register a throwaway policy for the duration of one test."""
+
+    @register_policy(
+        "unit_test_policy",
+        aliases=("utp",),
+        display="Unit-Test Policy",
+        description="BaseUVM with a custom name, registered from a test file.",
+    )
+    class UnitTestPolicy(BaseUVMPolicy):
+        name = "Unit-Test Policy"
+
+    yield "unit_test_policy"
+    POLICY_REGISTRY.unregister("unit_test_policy")
+
+
+@pytest.fixture
+def scripted_model():
+    """Register a throwaway model for the duration of one test."""
+
+    @register_model(
+        "testnet",
+        display="TestNet",
+        default_batch_size=8,
+    )
+    def build_testnet(batch_size, hidden=64, layers=3):
+        from repro.graph.tensor import TensorKind
+
+        builder = ModelBuilder(name=f"testnet-{batch_size}", batch_size=batch_size)
+        x = builder.graph.add_tensor("input", (batch_size, hidden), TensorKind.INPUT)
+        for _ in range(layers):
+            x = builder.linear(x, hidden)
+            x = builder.relu(x)
+        builder.classifier(x, 10)
+        return builder.build()
+
+    yield "testnet"
+    MODEL_REGISTRY.unregister("testnet")
+
+
+class TestOpenExtension:
+    """A policy/model registered out-of-tree runs through Scenario and the CLI."""
+
+    def test_custom_policy_runs_through_scenario(self, scripted_policy, bert_ci_workload):
+        outcome = Scenario("bert", scale="ci").on_policy("UTP").run()
+        assert outcome.policy_name == "Unit-Test Policy"
+        assert not outcome.failed
+        assert outcome.policy["name"] == "unit_test_policy"
+        # Identical decisions to the built-in BaseUVM policy, so identical timing.
+        baseline = Scenario("bert", scale="ci").on_policy("base_uvm").run()
+        assert outcome.execution_time == baseline.execution_time
+
+    def test_custom_policy_runs_through_cli(self, scripted_policy, tmp_path, capsys):
+        artifact = tmp_path / "custom.json"
+        code = cli_main(
+            ["run", "--model", "bert", "--policy", "unit_test_policy",
+             "--scale", "ci", "--no-cache", "--output", str(artifact)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Unit-Test Policy" in out
+        payload = json.loads(artifact.read_text())
+        assert payload["cell"]["policy"] == "unit_test_policy"
+        assert payload["provenance"]["policy"]["display"] == "Unit-Test Policy"
+
+    def test_custom_policy_listed_by_cli(self, scripted_policy, capsys):
+        assert cli_main(["run", "--list-policies"]) == 0
+        out = capsys.readouterr().out
+        assert "unit_test_policy" in out and "utp" in out
+
+    def test_custom_model_runs_through_scenario(self, scripted_model):
+        outcome = Scenario("testnet", policy="base_uvm").run()
+        assert outcome.model_name == "testnet-8"
+        assert outcome.batch_size == 8  # registered default
+        assert not outcome.failed
+        assert "testnet" in available_models()
+        graph = build_model("Test-Net", batch_size=4)  # spelling variants resolve
+        assert graph.batch_size == 4
+
+    def test_custom_model_without_default_batch_requires_explicit(self):
+        register_model("testnet_nobatch", lambda batch_size: None)
+        try:
+            with pytest.raises(ConfigurationError, match="batch_size"):
+                Scenario("testnet_nobatch").resolved()
+        finally:
+            MODEL_REGISTRY.unregister("testnet_nobatch")
+
+
+class TestExperimentRegistry:
+    def test_builtin_experiments_and_aliases(self):
+        assert get_experiment("11").id == "11"
+        assert get_experiment("77").id == "lifetime"  # alias
+        assert len(EXPERIMENTS) >= 15
+
+    def test_custom_experiment_registration(self):
+        @register_experiment(id="unit_test_exp", title="Unit-test experiment")
+        def render(scale="ci", runner=None):
+            return {"ok": True}
+
+        try:
+            experiment = get_experiment("unit_test_exp")
+            assert experiment.title == "Unit-test experiment"
+            assert experiment.render() == {"ok": True}
+            assert "unit_test_exp" in [e.id for e in EXPERIMENTS]
+        finally:
+            EXPERIMENT_REGISTRY.unregister("unit_test_exp")
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ConfigurationError, match="available"):
+            get_experiment("figure99")
+
+
+class TestPluginLoading:
+    def test_load_plugins_imports_module(self, tmp_path, monkeypatch):
+        plugin = tmp_path / "repro_test_plugin.py"
+        plugin.write_text(
+            "from repro import register_policy\n"
+            "from repro.baselines import BaseUVMPolicy\n"
+            "@register_policy('plugin_test_policy', replace=True)\n"
+            "class PluginPolicy(BaseUVMPolicy):\n"
+            "    name = 'Plugin Policy'\n"
+        )
+        monkeypatch.syspath_prepend(str(tmp_path))
+        monkeypatch.setenv("REPRO_PLUGINS", "")  # restored after the test
+        try:
+            assert load_plugins("repro_test_plugin") == ["repro_test_plugin"]
+            assert "plugin_test_policy" in POLICY_REGISTRY
+            # idempotent: a second load is a no-op
+            assert load_plugins("repro_test_plugin") == []
+        finally:
+            POLICY_REGISTRY.unregister("plugin_test_policy")
+
+    def test_load_plugins_unknown_module_rejected(self):
+        with pytest.raises(ConfigurationError, match="cannot import plugin"):
+            load_plugins("repro_no_such_plugin_module")
+
+
+class TestPluginEnvPropagation:
+    def test_explicit_loads_append_to_env_for_workers(self, tmp_path, monkeypatch):
+        plugin = tmp_path / "env_prop_plugin.py"
+        plugin.write_text("VALUE = 1\n")
+        monkeypatch.syspath_prepend(str(tmp_path))
+        monkeypatch.setenv("REPRO_PLUGINS", "")
+        try:
+            load_plugins("env_prop_plugin")
+            # Spawn-based sweep workers read the env var; the explicit load
+            # must be visible there too.
+            assert "env_prop_plugin" in os.environ["REPRO_PLUGINS"].split(",")
+        finally:
+            from repro.registry import _loaded_plugins
+            _loaded_plugins.discard("env_prop_plugin")
+
+
+class TestReviewRegressions:
+    def test_replace_stealing_alias_updates_old_owner_description(self):
+        registry = Registry("thing")
+        registry.register("alpha", lambda: "old", aliases=("a",))
+        registry.register("beta", lambda: "new", aliases=("a",), replace=True)
+        assert registry.create("a") == "new"
+        # the stolen alias no longer appears under its previous owner
+        assert registry.describe("alpha")["aliases"] == []
+        assert registry.describe("beta")["aliases"] == ["a"]
+
+    def test_failed_bootstrap_is_retried(self):
+        registry = Registry("thing", bootstrap="repro_no_such_bootstrap_module")
+        with pytest.raises(ImportError):
+            registry.available()
+        # a second call must retry the import, not report an empty registry
+        with pytest.raises(ImportError):
+            registry.available()
+
+    def test_peek_plugins_collects_every_occurrence(self):
+        from repro.cli import _peek_plugins
+
+        argv = ["figure", "x", "--plugins", "mod_a", "--scale", "ci", "--plugins=mod_b"]
+        assert _peek_plugins(argv) == ["mod_a", "mod_b"]
+        assert _peek_plugins(["run", "--model", "bert"]) == []
+
+
+class TestAliasCacheKeyParity:
+    def test_alias_spellings_share_the_canonical_cache_key(self):
+        from repro.experiments import SweepCell
+
+        assert (
+            SweepCell(model="bert", policy="uvm", scale="ci").cache_key()
+            == SweepCell(model="bert", policy="base_uvm", scale="ci").cache_key()
+        )
+        assert (
+            SweepCell(model="bert", policy="G10+Host", scale="ci").cache_key()
+            == SweepCell(model="bert", policy="g10_host", scale="ci").cache_key()
+        )
+
+    def test_replace_alias_over_canonical_entry_drops_shadowed_entry(self):
+        registry = Registry("thing")
+        registry.register("old", lambda: "old", aliases=("o",))
+        registry.register("mine", lambda: "new", aliases=("old",), replace=True)
+        assert registry.create("old") == "new"
+        # the shadowed entry (and its own aliases) left the listings entirely
+        assert registry.available() == ["mine"]
+        assert "o" not in registry
+
+
+class TestTable1Robustness:
+    def test_metadata_less_model_does_not_break_table1(self):
+        from repro.experiments.tables import table1_models, table1_spec
+
+        register_model("toynobatch", lambda batch_size: None, display="Toy")
+        try:
+            spec = table1_spec("ci")
+            assert all(cell.model != "toynobatch" for cell in spec.cells)
+            rows = table1_models(scale="ci")
+            assert {row["model"] for row in rows} == {
+                "BERT", "ViT", "Inceptionv3", "ResNet152", "SENet154",
+            }
+        finally:
+            MODEL_REGISTRY.unregister("toynobatch")
