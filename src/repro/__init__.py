@@ -64,7 +64,7 @@ from .baselines import POLICY_NAMES, available_policies
 from .sim import ExecutionSimulator, SimObserver, SimulationResult, TraceRecorder
 from ._compat import build_workload, make_policy, run_policies, run_policy
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "GB",

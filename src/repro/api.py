@@ -35,7 +35,10 @@ Sessions are the unit of dispatch everywhere: the sweep runner's
 a session, so ``Scenario(...).run()`` is bit-identical to the same cell run
 through ``SweepRunner``, the CLI, or the legacy
 ``build_workload``/``run_policy`` free functions (which remain as deprecated
-shims).
+shims). The distributed work queue
+(:class:`~repro.experiments.queue.WorkQueue`) inherits the same property: a
+queue task is exactly :meth:`Scenario.cell` plus :meth:`Scenario.cache_key`,
+and its workers execute through sessions too.
 
 Models and policies resolve through the open registries
 (:mod:`repro.registry`); anything registered with ``@register_policy`` /
@@ -219,6 +222,15 @@ class Scenario:
             profiling_error=resolved.profiling_error,
             seed=resolved.seed,
         )
+
+    def cache_key(self) -> str:
+        """The sweep-cache content key this scenario's result is stored under.
+
+        Together with :meth:`cell` this is the identity of a distributed
+        work-queue task: ``WorkQueue.enqueue([scenario.cell()])`` queues
+        exactly the computation whose result lands at this key.
+        """
+        return self.session().cache_key()
 
     def describe(self) -> dict[str, Any]:
         """JSON-safe summary of the resolved scenario (no execution)."""

@@ -9,7 +9,10 @@ Subcommands:
 * ``sweep``  — run a custom (models x policies x batches) grid;
 * ``report`` — render *every* figure/table from the result cache into
   Markdown + JSON artifacts (or warm one shard of the full grid);
-* ``cache``  — inspect, clear, or merge on-disk result caches.
+* ``cache``  — inspect, clear, or merge on-disk result caches;
+* ``queue``  — drive the file-backed distributed work queue: ``enqueue`` the
+  report grid, ``work`` as a competing consumer, ``status`` the task states,
+  ``requeue-stale`` expired leases of dead workers, or ``clear`` the queue.
 
 Every experiment honours ``--jobs`` (process-parallel fan-out) and the result
 cache under ``--cache-dir`` (default ``.repro_cache/``, or ``$REPRO_CACHE_DIR``);
@@ -20,6 +23,13 @@ Paper-scale grids distribute across machines with ``--shard-index I
 of the grid into its own cache; ``repro cache merge`` combines the shard
 caches; and ``--resume`` (or ``repro report --expect-warm``) regenerates the
 figures incrementally from the merged cache, bit-identical to a serial run.
+
+Dynamic load balancing replaces static shard ownership with ``--queue
+--workers N``: cells become tasks in a file-backed work queue under
+``--queue-dir`` (default ``.repro_queue/`` or ``$REPRO_QUEUE_DIR``) that N
+competing consumers drain with crash-safe lease/ack semantics — a killed
+worker's cells are reclaimed after ``--lease-timeout`` seconds (``repro queue
+requeue-stale``) instead of straggling the run.
 
 Policies, models and experiments resolve through the open registries
 (:mod:`repro.registry`); out-of-tree registrations load with ``--plugins
@@ -32,21 +42,27 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import Sequence
 
 from .api import Scenario
 from .experiments import (
+    DEFAULT_LEASE_TIMEOUT,
     ConfigPatch,
     ResultCache,
     SweepRunner,
     SweepSpec,
+    WorkQueue,
     combined_spec,
+    default_queue_root,
+    enqueue_report,
     format_table,
     generate_report,
     get_experiment,
     jsonify,
+    run_worker,
     table2_configuration,
     warm_cache,
 )
@@ -62,7 +78,23 @@ def _csv(text: str) -> list[str]:
 
 def _make_runner(args: argparse.Namespace) -> SweepRunner:
     cache = None if getattr(args, "no_cache", False) else ResultCache(args.cache_dir)
-    return SweepRunner(jobs=args.jobs, cache=cache)
+    queue_dir = None
+    workers = getattr(args, "workers", None)
+    jobs = args.jobs
+    if getattr(args, "queue", False):
+        if cache is None:
+            raise ConfigurationError("--queue requires the result cache (drop --no-cache)")
+        queue_dir = getattr(args, "queue_dir", None) or default_queue_root()
+        if workers is not None:
+            jobs = workers
+    elif workers is not None or getattr(args, "queue_dir", None):
+        raise ConfigurationError("--workers/--queue-dir require --queue")
+    return SweepRunner(
+        jobs=jobs,
+        cache=cache,
+        queue_dir=queue_dir,
+        lease_timeout=getattr(args, "lease_timeout", None),
+    )
 
 
 def _shard_args(args: argparse.Namespace) -> tuple[int, int] | None:
@@ -319,6 +351,73 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_queue(args: argparse.Namespace) -> int:
+    kwargs = {} if args.max_attempts is None else {"max_attempts": args.max_attempts}
+    queue = WorkQueue(
+        args.queue_dir or default_queue_root(),
+        lease_timeout=args.lease_timeout,
+        **kwargs,
+    )
+    if args.action == "status":
+        status = queue.status()
+        # `total` is what the state directories contain; `expected` is what
+        # the events log says was ever enqueued — comparing them catches
+        # lost/mangled task files, which a purely structural sum cannot.
+        reconciled = (
+            status["queued"] + status["leased"] + status["done"] + status["failed"]
+            == status["total"] == status["expected"]
+        )
+        print(f"queue root : {status['root']}")
+        print(f"queued     : {status['queued']}")
+        print(f"leased     : {status['leased']} ({status['stale']} stale)")
+        print(f"done       : {status['done']}")
+        print(f"failed     : {status['failed']}")
+        print(f"total      : {status['total']} ({status['expected']} expected)")
+        print(f"reconciled : queued + leased + done + failed == total == expected -> "
+              f"{'yes' if reconciled else 'NO'}")
+        return 0 if reconciled else 1
+    if args.action == "requeue-stale":
+        keys = queue.requeue_stale()
+        print(f"requeued {len(keys)} stale lease(s)")
+        return 0
+    if args.action == "enqueue":
+        cache = None if args.no_cache else ResultCache(args.cache_dir)
+        counts = enqueue_report(
+            queue,
+            scale=args.scale,
+            figures=_csv(args.figures) if args.figures else None,
+            cache=cache,
+        )
+        print(
+            f"enqueued {counts['queued']} cell(s) into {queue.root} "
+            f"({counts['warm']} already warm, {counts['retried']} failed retried, "
+            f"{counts['skipped']} already tracked)"
+        )
+        return 0
+    if args.action == "work":
+        if args.no_cache:
+            raise ConfigurationError("queue workers need a result cache (drop --no-cache)")
+        executed = run_worker(
+            queue,
+            ResultCache(args.cache_dir),
+            worker_id=args.worker_id,
+            poll_interval=args.poll_interval,
+        )
+        status = queue.status()
+        print(
+            f"worker {args.worker_id or f'pid-{os.getpid()}'}: "
+            f"executed {executed} cell(s); queue now "
+            f"{status['done']} done / {status['failed']} failed / "
+            f"{status['queued']} queued / {status['leased']} leased",
+            file=sys.stderr,
+        )
+        return 0 if status["failed"] == 0 else 1
+    if args.action == "clear":
+        queue.clear()
+        print(f"cleared queue at {queue.root}")
+    return 0
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", choices=("ci", "paper"), default="ci",
                         help="workload scale (default: ci)")
@@ -336,6 +435,19 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 def _add_output(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--output", default=None, metavar="FILE",
                         help="write results as a JSON artifact instead of stdout")
+
+
+def _add_queue(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--queue", action="store_true",
+                        help="dispatch cell execution through the file-backed work "
+                             "queue (dynamic load balancing, crash-safe leases)")
+    parser.add_argument("--queue-dir", default=None, metavar="DIR",
+                        help="work-queue directory (default: .repro_queue or $REPRO_QUEUE_DIR)")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="competing consumer processes in queue mode (default: --jobs or 1)")
+    parser.add_argument("--lease-timeout", type=float, default=None, metavar="SECONDS",
+                        help="seconds before a dead worker's lease is reclaimable "
+                             f"(default: {DEFAULT_LEASE_TIMEOUT:.0f})")
 
 
 def _add_shard(parser: argparse.ArgumentParser) -> None:
@@ -379,6 +491,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(figure)
     _add_output(figure)
     _add_shard(figure)
+    _add_queue(figure)
     figure.set_defaults(func=_cmd_figure)
 
     sweep = sub.add_parser("sweep", help="run a custom model x policy x batch grid")
@@ -389,6 +502,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(sweep)
     _add_output(sweep)
     _add_shard(sweep)
+    _add_queue(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     report = sub.add_parser(
@@ -402,7 +516,38 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fail if any cell had to be recomputed (CI resume contract)")
     _add_common(report)
     _add_shard(report)
+    _add_queue(report)
     report.set_defaults(func=_cmd_report)
+
+    queue = sub.add_parser(
+        "queue", help="drive the distributed work queue (competing consumers)"
+    )
+    queue.add_argument("action",
+                       choices=("status", "requeue-stale", "enqueue", "work", "clear"))
+    queue.add_argument("--queue-dir", default=None, metavar="DIR",
+                       help="work-queue directory (default: .repro_queue or $REPRO_QUEUE_DIR)")
+    queue.add_argument("--lease-timeout", type=float, default=DEFAULT_LEASE_TIMEOUT,
+                       metavar="SECONDS",
+                       help="deadline encoded into leases this process *takes* "
+                            "(work); existing leases expire at the deadline "
+                            "recorded when they were claimed "
+                            f"(default: {DEFAULT_LEASE_TIMEOUT:.0f})")
+    queue.add_argument("--max-attempts", type=int, default=None, metavar="N",
+                       help="lease attempts per cell before it is parked as failed "
+                            "(default: 5)")
+    queue.add_argument("--figures", default=None, metavar="IDS",
+                       help="enqueue: comma-separated experiment ids (default: all)")
+    queue.add_argument("--scale", choices=("ci", "paper"), default="ci",
+                       help="enqueue: workload scale (default: ci)")
+    queue.add_argument("--worker-id", default=None, metavar="ID",
+                       help="work: stable identity recorded in leases/events")
+    queue.add_argument("--poll-interval", type=float, default=0.05, metavar="SECONDS",
+                       help="work: idle polling interval while peers hold leases")
+    queue.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="result cache directory (default: .repro_cache or $REPRO_CACHE_DIR)")
+    queue.add_argument("--no-cache", action="store_true",
+                       help="enqueue without consulting the cache for warm cells")
+    queue.set_defaults(func=_cmd_queue)
 
     cache = sub.add_parser("cache", help="inspect, clear, or merge result caches")
     cache.add_argument("action", choices=("info", "clear", "path", "merge"))

@@ -41,3 +41,7 @@ class SimulationError(ReproError):
 
 class SSDError(ReproError):
     """The SSD substrate was misused (bad page state, out of space, ...)."""
+
+
+class QueueError(ReproError):
+    """The distributed work queue reached an inconsistent or failed state."""

@@ -10,9 +10,12 @@ the simulator source itself: after editing simulation code within one package
 version, run ``repro cache clear`` (or pass ``--no-cache``) to avoid serving
 results computed by the old code.
 
-Writes are atomic (temp file + rename), so a reader never observes a partial
-entry. A writer that is killed mid-write leaves a ``*.tmp.<pid>`` file behind;
-those stale temporaries never shadow a real entry, are counted by
+Writes are atomic (temp file + rename) and every writer — process *or*
+thread — uses a unique temp name (``*.tmp.<pid>.<n>``), so concurrent
+``put`` calls for the same key can never scribble over each other's
+temporary: the last rename wins and a reader never observes a partial entry.
+A writer that is killed mid-write leaves its ``*.tmp.*`` file behind; those
+stale temporaries never shadow a real entry, are counted by
 :meth:`ResultCache.stats` and swept by :meth:`ResultCache.clear`.
 
 The default cache root is ``.repro_cache/`` in the current working directory,
@@ -23,11 +26,29 @@ path. Shard caches produced by distributed sweeps are combined with
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import re
 import shutil
 from pathlib import Path
+
+# Per-process counter making temp names unique across concurrent writers in
+# one process (threads, or queue workers sharing a forked counter are still
+# distinct by pid). count().__next__ is atomic under the GIL.
+_TMP_COUNTER = itertools.count()
+
+
+def _tmp_path(target: Path) -> Path:
+    """A collision-free temporary sibling of ``target``.
+
+    Two queue workers ``put()``-ing the same key concurrently used to race on
+    the shared ``<key>.tmp.<pid>`` name when they shared a pid (threads) —
+    one writer could truncate or rename the other's half-written file. A
+    per-call counter makes every temporary unique, so the only shared state
+    left is the final atomic rename: last writer wins, bit-identically.
+    """
+    return target.with_suffix(f".tmp.{os.getpid()}.{next(_TMP_COUNTER)}")
 
 #: Bump when the stored payload layout changes; mismatched entries are misses.
 CACHE_SCHEMA_VERSION = 1
@@ -96,13 +117,15 @@ class ResultCache:
         """Persist a payload atomically (write to a temp file, then rename).
 
         On any write failure the temp file is removed before re-raising, so a
-        crashed *in-process* writer cannot leak ``*.tmp.<pid>`` files; only a
+        crashed *in-process* writer cannot leak ``*.tmp.*`` files; only a
         killed process can, and those are reclaimed by :meth:`clear`.
+        Concurrent writers of the same key each get a unique temp file (see
+        :func:`_tmp_path`), so the write is last-writer-wins at the rename.
         """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {"schema": CACHE_SCHEMA_VERSION, "key": key, "cell": cell, "payload": payload}
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp = _tmp_path(path)
         try:
             with tmp.open("w", encoding="utf-8") as fh:
                 json.dump(entry, fh, separators=(",", ":"))
@@ -126,7 +149,7 @@ class ResultCache:
             if dst.exists():
                 continue
             dst.parent.mkdir(parents=True, exist_ok=True)
-            tmp = dst.with_suffix(f".tmp.{os.getpid()}")
+            tmp = _tmp_path(dst)
             try:
                 shutil.copyfile(src, tmp)
                 tmp.replace(dst)

@@ -10,10 +10,12 @@ profiling-error) cells. This module turns that grid into data:
   :class:`~repro.config.SystemConfig` (the Figures 16-18 sensitivity axes);
 * :class:`SweepSpec` — a named, ordered collection of cells with a grid
   constructor for cartesian-product sweeps;
-* :class:`SweepRunner` — executes a spec serially or over a
-  ``ProcessPoolExecutor``, deduplicating identical cells, serving repeats from
-  a :class:`~repro.experiments.cache.ResultCache`, and always returning
-  results in spec order so parallel and serial runs are indistinguishable.
+* :class:`SweepRunner` — executes a spec serially, over a
+  ``ProcessPoolExecutor``, or (with ``queue_dir`` set) through the
+  file-backed :class:`~repro.experiments.queue.WorkQueue` of competing
+  consumers; it deduplicates identical cells, serves repeats from a
+  :class:`~repro.experiments.cache.ResultCache`, and always returns results
+  in spec order so parallel, queued and serial runs are indistinguishable.
 
 Workers build workloads through :func:`~repro.experiments.harness.build_workload`,
 whose per-process memo means consecutive cells that share a workload profile
@@ -29,13 +31,14 @@ import json
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from itertools import product
+from pathlib import Path
 from typing import Iterable, Sequence
 
 import numpy as np
 
 from ..analysis.characterization import CharacterizationResult, characterize_workload
 from ..config import SystemConfig
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, QueueError
 from ..registry import load_plugins
 from ..sim import SimulationResult
 from .cache import CACHE_SCHEMA_VERSION, ResultCache
@@ -426,14 +429,37 @@ class SweepRunner:
 
     Args:
         jobs: Worker processes to fan cells out over; ``None``, 0 or 1 runs
-            in-process (and benefits from the warm workload memo).
+            in-process (and benefits from the warm workload memo). In queue
+            mode this is the number of competing consumer processes.
         cache: Persistent result cache; ``None`` disables on-disk caching
             (in-run deduplication of identical cells still applies).
+        queue_dir: When set, cache misses are not fanned out over a process
+            pool but enqueued into the file-backed
+            :class:`~repro.experiments.queue.WorkQueue` at this directory and
+            drained by ``jobs`` competing worker processes (crash-safe
+            lease/ack semantics, dead-worker requeue). Results are read back
+            from the cache, so queue runs are bit-identical to serial ones.
+            Requires ``cache``.
+        lease_timeout: Queue-mode lease timeout in seconds (how long a dead
+            worker's cells stay stranded before reclaim).
     """
 
-    def __init__(self, jobs: int | None = None, cache: ResultCache | None = None):
+    def __init__(
+        self,
+        jobs: int | None = None,
+        cache: ResultCache | None = None,
+        queue_dir: str | Path | None = None,
+        lease_timeout: float | None = None,
+    ):
+        if queue_dir is not None and cache is None:
+            raise ConfigurationError(
+                "queue-mode execution requires a result cache "
+                "(results travel from workers to the runner through it)"
+            )
         self.jobs = jobs
         self.cache = cache
+        self.queue_dir = Path(queue_dir) if queue_dir is not None else None
+        self.lease_timeout = lease_timeout
         #: (hits, executed) counters of the most recent :meth:`run`.
         self.last_stats: dict[str, int] = {"cells": 0, "cache_hits": 0, "executed": 0}
 
@@ -505,21 +531,27 @@ class SweepRunner:
                 miss_cells.append(cell)
 
         if miss_cells:
-            if self.jobs and self.jobs > 1 and len(miss_cells) > 1:
-                cell_dicts = [cell.to_dict() for cell in miss_cells]
-                workers = min(self.jobs, len(miss_cells))
-                # Chunk consecutive cells onto the same worker so cells that
-                # share a workload reuse its per-process build_workload memo
-                # (the default chunksize of 1 would scatter them).
-                chunksize = max(1, len(cell_dicts) // workers)
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    executed = list(pool.map(_execute_cell_dict, cell_dicts, chunksize=chunksize))
+            if self.queue_dir is not None:
+                # Queue mode: competing consumers drain the cells dynamically
+                # and publish payloads through the cache (already persisted).
+                for key, payload in zip(miss_order, self._queue_execute(miss_cells)):
+                    payloads[key] = payload
             else:
-                executed = [execute_cell(cell) for cell in miss_cells]
-            for cell, key, payload in zip(miss_cells, miss_order, executed):
-                payloads[key] = payload
-                if self.cache is not None:
-                    self.cache.put(key, payload, cell=cell.to_dict())
+                if self.jobs and self.jobs > 1 and len(miss_cells) > 1:
+                    cell_dicts = [cell.to_dict() for cell in miss_cells]
+                    workers = min(self.jobs, len(miss_cells))
+                    # Chunk consecutive cells onto the same worker so cells that
+                    # share a workload reuse its per-process build_workload memo
+                    # (the default chunksize of 1 would scatter them).
+                    chunksize = max(1, len(cell_dicts) // workers)
+                    with ProcessPoolExecutor(max_workers=workers) as pool:
+                        executed = list(pool.map(_execute_cell_dict, cell_dicts, chunksize=chunksize))
+                else:
+                    executed = [execute_cell(cell) for cell in miss_cells]
+                for cell, key, payload in zip(miss_cells, miss_order, executed):
+                    payloads[key] = payload
+                    if self.cache is not None:
+                        self.cache.put(key, payload, cell=cell.to_dict())
 
         self.last_stats = {
             "cells": len(cells),
@@ -530,6 +562,32 @@ class SweepRunner:
             CellResult(cell=cell, payload=payloads[key], cached=key in cached_keys)
             for cell, key in zip(cells, keys)
         ]
+
+    def _queue_execute(self, cells: list[SweepCell]) -> list[dict]:
+        """Execute cache misses through the work queue; payloads in cell order.
+
+        Deferred import: :mod:`~repro.experiments.queue` imports this module
+        for :class:`SweepCell`/:func:`execute_cell`.
+        """
+        from .queue import DEFAULT_LEASE_TIMEOUT, QueueRunner, WorkQueue
+
+        queue = WorkQueue(
+            self.queue_dir, lease_timeout=self.lease_timeout or DEFAULT_LEASE_TIMEOUT
+        )
+        QueueRunner(queue, self.cache, workers=self.jobs or 1).run(cells)
+        payloads, missing = [], []
+        for cell in cells:
+            payload = self.cache.get(cell.cache_key())
+            if payload is None:
+                missing.append(cell.cache_key()[:12])
+            else:
+                payloads.append(payload)
+        if missing:
+            raise QueueError(
+                f"queue drained but the cache at {self.cache.root} is missing "
+                f"{len(missing)} result(s): {', '.join(missing)}"
+            )
+        return payloads
 
     def run_one(self, cell: SweepCell) -> CellResult:
         """Execute a single cell."""

@@ -11,12 +11,13 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.experiments.cache import CACHE_SCHEMA_VERSION, ResultCache
+from repro.experiments.cache import CACHE_SCHEMA_VERSION, ResultCache, _tmp_path
 
 # Cache keys are SHA-256 hex digests; any hex string >= 2 chars is layout-valid.
 keys = st.text(alphabet="0123456789abcdef", min_size=2, max_size=64)
@@ -167,6 +168,71 @@ class TestTempFileHygiene:
         tmp.parent.mkdir(parents=True, exist_ok=True)
         tmp.write_text(json.dumps({"schema": CACHE_SCHEMA_VERSION, "payload": {"v": 1}}))
         assert cache.get("ab12cd") is None
+
+
+class TestConcurrentPutRace:
+    """Regression suite for the queue-worker ``put()`` race: two writers of
+    the same key used to share one ``<key>.tmp.<pid>`` temporary when they
+    shared a pid, so one could truncate or rename the other's half-written
+    file. Temp names are now unique per call; the only shared step left is
+    the atomic rename (last writer wins, bit-identically)."""
+
+    def test_tmp_names_are_unique_per_call(self, tmp_path):
+        target = tmp_path / "ab" / "ab12.json"
+        first, second = _tmp_path(target), _tmp_path(target)
+        assert first != second
+        assert first.parent == second.parent == target.parent
+
+    def test_concurrent_same_key_puts_never_corrupt_the_entry(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        payload = {"rows": list(range(64)), "text": "x" * 512}
+        barrier = threading.Barrier(8)
+        errors: list[BaseException] = []
+
+        def writer():
+            try:
+                barrier.wait()
+                for _ in range(25):
+                    cache.put("ab12cd", payload)
+                    # Readers racing the writers must always see a full,
+                    # valid entry (atomic rename), never a partial one.
+                    assert cache.get("ab12cd") == payload
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert errors == []
+        assert cache.get("ab12cd") == payload
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["stale_tmp"] == 0  # every writer cleaned up its temp
+
+    def test_distinct_payload_race_is_last_writer_wins(self, tmp_path):
+        """Divergent payloads for one key (can't happen for content-addressed
+        sweep results, but the cache must still never tear): the final entry
+        is exactly one of the competing payloads, intact."""
+        cache = ResultCache(tmp_path / "c")
+        payloads = [{"writer": index, "blob": f"{index}" * 256} for index in range(4)]
+        barrier = threading.Barrier(4)
+
+        def writer(payload):
+            barrier.wait()
+            for _ in range(25):
+                cache.put("fe99", payload)
+
+        threads = [threading.Thread(target=writer, args=(p,)) for p in payloads]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert cache.get("fe99") in payloads
+        assert cache.stats()["stale_tmp"] == 0
 
 
 class TestMerge:

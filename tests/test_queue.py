@@ -1,0 +1,466 @@
+"""The distributed work queue: lease/ack/requeue semantics and queue execution.
+
+Three layers of guarantees, each load-bearing for crash-safe sweeps:
+
+* **unit** — every transition (enqueue, lease, ack, release, renew, expiry,
+  attempts cap) moves exactly one file between state directories, idempotently;
+* **property** — arbitrary interleavings of operations (driven by Hypothesis
+  against an injected clock) never lose a cell, never hold two files for one
+  cache key (which makes double-completion structurally impossible), and
+  always drain to empty;
+* **integration** — ``SweepRunner`` in queue mode is bit-identical to a serial
+  run, and permanently failing cells surface as :class:`QueueError` instead of
+  hanging the queue.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, QueueError
+from repro.experiments import (
+    QueueRunner,
+    ResultCache,
+    SweepRunner,
+    SweepSpec,
+    WorkQueue,
+    execute_cell,
+    jsonify,
+)
+from repro.experiments.queue import _LEASED_RE, _QUEUED_RE
+
+#: Three fast ci-scale simulation cells (one workload, three policies).
+SPEC = SweepSpec.grid(
+    "queue-test", models=("bert",), policies=("ideal", "base_uvm", "g10"), scale="ci"
+)
+
+KEYS = [f"{i:02x}a0b1c2" for i in range(6)]
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_queue(root, timeout: float = 1.0, **kwargs) -> tuple[WorkQueue, FakeClock]:
+    clock = FakeClock()
+    return WorkQueue(root, lease_timeout=timeout, clock=clock, **kwargs), clock
+
+
+def states_per_key(queue: WorkQueue) -> dict[str, list[str]]:
+    """Every state directory a key currently has a file in (fs ground truth)."""
+    found: dict[str, list[str]] = {}
+    for path in (queue.root / "queued").glob("*.json"):
+        match = _QUEUED_RE.match(path.name)
+        if match:
+            found.setdefault(match["key"], []).append("queued")
+    for path in (queue.root / "leased").glob("*.json"):
+        match = _LEASED_RE.match(path.name)
+        if match:
+            found.setdefault(match["key"], []).append("leased")
+    for state in ("done", "failed"):
+        for path in (queue.root / state).glob("*.json"):
+            found.setdefault(path.stem, []).append(state)
+    return found
+
+
+class TestWorkQueueTransitions:
+    def test_enqueue_lease_ack_lifecycle(self, tmp_path):
+        queue, _ = make_queue(tmp_path / "q")
+        counts = queue.enqueue_tasks((key, {"cell": None}) for key in KEYS[:3])
+        assert counts == {"queued": 3, "warm": 0, "retried": 0, "skipped": 0}
+        assert queue.status()["queued"] == 3 and queue.pending() == 3
+
+        lease = queue.lease("w0")
+        assert lease.key == KEYS[0]  # deterministic key-sorted drain order
+        assert lease.attempts == 1 and lease.worker == "w0"
+        assert queue.status()["leased"] == 1
+
+        assert queue.ack(lease)
+        status = queue.status()
+        assert status["done"] == 1 and status["queued"] == 2 and status["leased"] == 0
+        assert status["total"] == 3
+        assert not queue.drained()
+
+    def test_lease_drains_in_deterministic_key_order_then_none(self, tmp_path):
+        queue, _ = make_queue(tmp_path / "q")
+        queue.enqueue_tasks((key, {"cell": None}) for key in reversed(KEYS))
+        leased = [queue.lease(f"w{i}").key for i in range(len(KEYS))]
+        assert leased == sorted(KEYS)
+        assert queue.lease("late") is None
+
+    def test_enqueue_is_idempotent(self, tmp_path):
+        queue, _ = make_queue(tmp_path / "q")
+        queue.enqueue_tasks([(KEYS[0], {"cell": None})])
+        lease = queue.lease("w0")
+        queue.ack(lease)
+        queue.enqueue_tasks([(KEYS[0], {"cell": None}), (KEYS[1], {"cell": None})])
+        status = queue.status()
+        # The done key was not re-queued; only the genuinely new key was added.
+        assert status["done"] == 1 and status["queued"] == 1 and status["total"] == 2
+
+    def test_warm_keys_are_recorded_as_done(self, tmp_path):
+        queue, _ = make_queue(tmp_path / "q")
+        counts = queue.enqueue_tasks(
+            ((key, {"cell": None}) for key in KEYS[:2]), warm={KEYS[0]}
+        )
+        assert counts == {"queued": 1, "warm": 1, "retried": 0, "skipped": 0}
+        status = queue.status()
+        assert status["done"] == 1 and status["queued"] == 1 and status["total"] == 2
+
+    def test_ack_is_idempotent(self, tmp_path):
+        queue, _ = make_queue(tmp_path / "q")
+        queue.enqueue_tasks([(KEYS[0], {"cell": None})])
+        lease = queue.lease("w0")
+        assert queue.ack(lease)
+        assert queue.ack(lease)  # second ack: key already done, still True
+        assert queue.status()["done"] == 1
+
+    def test_release_keeps_the_attempt_counter(self, tmp_path):
+        queue, _ = make_queue(tmp_path / "q")
+        queue.enqueue_tasks([(KEYS[0], {"cell": None})])
+        first = queue.lease("w0")
+        assert queue.release(first)
+        second = queue.lease("w1")
+        assert second.key == KEYS[0] and second.attempts == 2
+
+    def test_requeue_stale_honours_the_deadline(self, tmp_path):
+        queue, clock = make_queue(tmp_path / "q", timeout=1.0)
+        queue.enqueue_tasks([(KEYS[0], {"cell": None})])
+        queue.lease("dying-worker")
+        clock.advance(0.5)
+        assert queue.requeue_stale() == []  # still within its lease
+        clock.advance(0.6)
+        assert queue.requeue_stale() == [KEYS[0]]
+        status = queue.status()
+        assert status["queued"] == 1 and status["leased"] == 0
+        # The reclaimed task remembers it was tried once.
+        assert queue.lease("rescuer").attempts == 2
+
+    def test_ack_after_expiry_reclaims_from_queued(self, tmp_path):
+        """A worker that finishes *after* its lease expired still completes the
+        task (the result is cached; recomputing would be pure waste)."""
+        queue, clock = make_queue(tmp_path / "q", timeout=1.0)
+        queue.enqueue_tasks([(KEYS[0], {"cell": None})])
+        lease = queue.lease("slow-worker")
+        clock.advance(2.0)
+        assert queue.requeue_stale() == [KEYS[0]]
+        assert queue.ack(lease)  # lease path is gone, but ack reclaims the task
+        status = queue.status()
+        assert status["done"] == 1 and status["queued"] == 0 and status["total"] == 1
+
+    def test_ack_after_reassignment_defers_to_the_new_holder(self, tmp_path):
+        queue, clock = make_queue(tmp_path / "q", timeout=1.0)
+        queue.enqueue_tasks([(KEYS[0], {"cell": None})])
+        stale = queue.lease("slow-worker")
+        clock.advance(2.0)
+        queue.requeue_stale()
+        fresh = queue.lease("rescuer")
+        assert not queue.ack(stale)  # the rescuer owns it now
+        assert queue.status()["leased"] == 1
+        assert queue.ack(fresh)
+        assert queue.status()["done"] == 1
+
+    def test_renew_extends_a_live_lease(self, tmp_path):
+        queue, clock = make_queue(tmp_path / "q", timeout=1.0)
+        queue.enqueue_tasks([(KEYS[0], {"cell": None})])
+        lease = queue.lease("w0")
+        clock.advance(0.8)
+        renewed = queue.renew(lease)
+        assert renewed is not None and renewed.deadline > lease.deadline
+        clock.advance(0.5)  # 1.3s after the original lease, 0.5s after renewal
+        assert queue.requeue_stale() == []
+        clock.advance(0.6)
+        assert queue.requeue_stale() == [KEYS[0]]
+        # Renewing the lost lease now fails instead of resurrecting it.
+        assert queue.renew(renewed) is None
+
+    def test_attempts_cap_parks_the_task_as_failed(self, tmp_path):
+        queue, _ = make_queue(tmp_path / "q", max_attempts=2)
+        queue.enqueue_tasks([(KEYS[0], {"cell": None})])
+        for _ in range(2):
+            queue.release(queue.lease("w0"))
+        assert queue.lease("w0") is None
+        status = queue.status()
+        assert status["failed"] == 1 and status["queued"] == 0 and status["total"] == 1
+        assert queue.failed_keys() == {KEYS[0]}
+        assert queue.drained()  # failed tasks do not hang the queue
+
+    def test_reenqueue_retries_a_failed_task_with_a_fresh_budget(self, tmp_path):
+        queue, _ = make_queue(tmp_path / "q", max_attempts=1)
+        queue.enqueue_tasks([(KEYS[0], {"cell": None})])
+        queue.release(queue.lease("w0"))
+        assert queue.lease("w0") is None  # attempts exhausted -> failed/
+        assert queue.failed_keys() == {KEYS[0]}
+
+        counts = queue.enqueue_tasks([(KEYS[0], {"cell": None})])
+        assert counts == {"queued": 0, "warm": 0, "retried": 1, "skipped": 0}
+        assert queue.failed_keys() == set()
+        lease = queue.lease("w1")
+        assert lease.key == KEYS[0] and lease.attempts == 1  # budget reset
+        assert queue.ack(lease)
+        assert queue.status()["done"] == 1
+
+    def test_concurrent_producers_cannot_duplicate_a_key(self, tmp_path):
+        """Task creation is an exclusive link: with the target already present
+        (the losing side of a producer race), creation reports a skip."""
+        queue, _ = make_queue(tmp_path / "q")
+        assert queue._create_task(
+            queue.root / "queued" / f"{KEYS[0]}.a0.json", KEYS[0], {"cell": None}
+        )
+        assert not queue._create_task(
+            queue.root / "queued" / f"{KEYS[0]}.a0.json", KEYS[0], {"cell": None}
+        )
+        assert queue.status()["queued"] == 1
+        # No temp files linger from either attempt.
+        assert list((queue.root / "queued").glob("*.tmp.*")) == []
+
+    def test_status_reconciliation_detects_lost_task_files(self, tmp_path):
+        queue, _ = make_queue(tmp_path / "q")
+        queue.enqueue_tasks((key, {"cell": None}) for key in KEYS[:3])
+        status = queue.status()
+        assert status["total"] == status["expected"] == 3
+        # Simulate external damage: a task file vanishes. The structural sum
+        # still balances, but the events-derived expectation catches it.
+        next((queue.root / "queued").glob("*.json")).unlink()
+        status = queue.status()
+        assert status["total"] == 2 and status["expected"] == 3
+
+    def test_foreign_files_are_ignored(self, tmp_path):
+        queue, _ = make_queue(tmp_path / "q")
+        (queue.root / "queued").mkdir(parents=True)
+        (queue.root / "queued" / "README.txt").write_text("not a task")
+        assert queue.lease("w0") is None
+        assert queue.status()["total"] == 0
+
+    def test_status_counts_stale_leases(self, tmp_path):
+        queue, clock = make_queue(tmp_path / "q", timeout=1.0)
+        queue.enqueue_tasks((key, {"cell": None}) for key in KEYS[:2])
+        queue.lease("w0")
+        clock.advance(2.0)
+        queue.lease("w1")
+        status = queue.status()
+        assert status["leased"] == 2 and status["stale"] == 1
+
+    def test_events_audit_every_transition(self, tmp_path):
+        queue, clock = make_queue(tmp_path / "q", timeout=1.0)
+        queue.enqueue_tasks([(KEYS[0], {"cell": None})])
+        lease = queue.lease("w0")
+        queue.release(lease)
+        lease = queue.lease("w0")
+        clock.advance(2.0)
+        queue.requeue_stale()
+        lease = queue.lease("w1")
+        queue.ack(lease)
+        kinds = [event["event"] for event in queue.events()]
+        assert kinds == ["enqueue", "lease", "release", "lease", "requeue", "lease", "ack"]
+        assert all(e["key"] == KEYS[0] for e in queue.events() if e["event"] == "lease")
+
+    def test_clear_removes_everything(self, tmp_path):
+        queue, _ = make_queue(tmp_path / "q")
+        queue.enqueue_tasks([(KEYS[0], {"cell": None})])
+        queue.clear()
+        assert not queue.root.exists()
+        assert queue.status()["total"] == 0
+
+    def test_invalid_arguments_are_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            WorkQueue(tmp_path / "q", lease_timeout=0)
+        with pytest.raises(ConfigurationError):
+            WorkQueue(tmp_path / "q", max_attempts=0)
+        queue, _ = make_queue(tmp_path / "q")
+        with pytest.raises(ConfigurationError):
+            queue.enqueue_tasks([("NOT-HEX!", {"cell": None})])
+        with pytest.raises(QueueError):
+            queue.enqueue_tasks([(KEYS[0], {"cell": None})])
+            queue.lease("w0").cell()  # task carries no cell payload
+
+
+# -- property suite ------------------------------------------------------------
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("enqueue"), st.integers(0, len(KEYS) - 1)),
+        st.tuples(st.just("lease"), st.integers(0, 2)),
+        st.tuples(st.just("ack"), st.integers(0, 7)),
+        st.tuples(st.just("release"), st.integers(0, 7)),
+        st.tuples(st.just("advance"), st.integers(1, 30)),  # tenths of a second
+        st.tuples(st.just("requeue"), st.just(0)),
+    ),
+    max_size=40,
+)
+
+relaxed = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+class TestWorkQueueProperties:
+    """Arbitrary interleavings of queue operations preserve the invariants the
+    sweep relies on: no cell is ever lost, no cache key can complete twice
+    (there is never more than one task file per key), done is sticky, and the
+    queue always drains to empty."""
+
+    @relaxed
+    @given(ops=operations)
+    def test_interleavings_preserve_task_conservation_and_drain(self, ops):
+        with tempfile.TemporaryDirectory() as root:
+            queue, clock = make_queue(Path(root) / "q", timeout=1.0, max_attempts=None)
+            enqueued: set[str] = set()
+            completed: set[str] = set()
+            leases = []
+
+            def check_invariants():
+                found = states_per_key(queue)
+                # Conservation: every enqueued key exists in exactly one state,
+                # and no unknown keys appear.
+                assert set(found) == enqueued
+                for key, states in found.items():
+                    assert len(states) == 1, f"{key} duplicated across {states}"
+                # Done is sticky: a completed key can never leave done/.
+                for key in completed:
+                    assert found[key] == ["done"]
+
+            for op, arg in ops:
+                if op == "enqueue":
+                    queue.enqueue_tasks([(KEYS[arg], {"cell": None})])
+                    enqueued.add(KEYS[arg])
+                elif op == "lease":
+                    lease = queue.lease(f"w{arg}")
+                    if lease is not None:
+                        leases.append(lease)
+                elif op == "ack" and leases:
+                    lease = leases.pop(arg % len(leases))
+                    if queue.ack(lease):
+                        completed.add(lease.key)
+                elif op == "release" and leases:
+                    queue.release(leases.pop(arg % len(leases)))
+                elif op == "advance":
+                    clock.advance(arg / 10)
+                elif op == "requeue":
+                    queue.requeue_stale()
+                check_invariants()
+
+            # Drain: expire anything outstanding and lease/ack to completion.
+            for _ in range(10 * len(KEYS) + 10):
+                if queue.drained():
+                    break
+                lease = queue.lease("drain")
+                if lease is None:
+                    clock.advance(2.0)
+                    queue.requeue_stale()
+                    continue
+                assert queue.ack(lease)
+                completed.add(lease.key)
+                check_invariants()
+
+            assert queue.drained()
+            status = queue.status()
+            assert status["done"] == status["total"] == len(enqueued)
+            assert status["queued"] == status["leased"] == status["failed"] == 0
+
+
+# -- execution integration -----------------------------------------------------
+
+class TestQueueExecution:
+    def test_sweep_runner_queue_mode_is_bit_identical_to_serial(self, tmp_path):
+        serial = SweepRunner(cache=None).run(SPEC)
+        reference = json.dumps(jsonify([out.payload for out in serial]), sort_keys=True)
+
+        runner = SweepRunner(
+            jobs=2, cache=ResultCache(tmp_path / "cache"),
+            queue_dir=tmp_path / "queue", lease_timeout=60.0,
+        )
+        queued = runner.run(SPEC)
+        assert runner.last_stats["executed"] == 3
+        assert json.dumps(jsonify([out.payload for out in queued]), sort_keys=True) == reference
+
+        # A second run is a pure cache resume: the queue is not touched again.
+        resumed = runner.run(SPEC)
+        assert runner.last_stats == {"cells": 3, "cache_hits": 3, "executed": 0}
+        assert json.dumps(jsonify([out.payload for out in resumed]), sort_keys=True) == reference
+
+        queue = WorkQueue(tmp_path / "queue")
+        status = queue.status()
+        assert status["done"] == status["total"] == 3
+        # No lease was ever retried: every cell was computed exactly once.
+        events = queue.events()
+        assert sum(1 for e in events if e["event"] == "lease") == 3
+        assert sum(1 for e in events if e["event"] == "requeue") == 0
+
+    def test_queue_runner_reports_permanent_failures(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q", lease_timeout=60.0, max_attempts=2)
+        cache = ResultCache(tmp_path / "c")
+        bad_cell = {
+            "model": "no-such-model", "policy": "g10",
+            "batch_size": 8, "scale": "ci",
+        }
+        queue.enqueue_tasks([("ab" * 32, {"cell": bad_cell})])
+        with pytest.raises(QueueError, match="failed permanently"):
+            QueueRunner(queue, cache, workers=1).drain()
+        assert queue.status()["failed"] == 1
+
+    def test_unrelated_failed_tasks_do_not_poison_a_scoped_run(self, tmp_path):
+        """Another sweep's permanently-failed task in the same queue directory
+        must not fail a run whose own cells all succeed."""
+        queue = WorkQueue(tmp_path / "q", lease_timeout=60.0, max_attempts=1)
+        cache = ResultCache(tmp_path / "c")
+        # Park a foreign key in failed/ the hard way: exhaust its attempts.
+        queue.enqueue_tasks([("ff" * 32, {"cell": None})])
+        queue.release(queue.lease("w0"))
+        assert queue.lease("w0") is None and queue.failed_keys() == {"ff" * 32}
+
+        counts = QueueRunner(queue, cache, workers=1).run([SPEC.cells[0]])
+        assert counts["queued"] == 1
+        assert cache.get(SPEC.cells[0].cache_key()) is not None
+        # The foreign failure is still visible, just not fatal to this run.
+        assert queue.failed_keys() == {"ff" * 32}
+
+    def test_drain_of_an_empty_queue_is_a_noop(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")
+        QueueRunner(queue, ResultCache(tmp_path / "c"), workers=2).drain()
+        assert queue.status()["total"] == 0
+
+    def test_queue_mode_requires_a_cache(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            SweepRunner(cache=None, queue_dir=tmp_path / "q")
+        with pytest.raises(ConfigurationError):
+            QueueRunner(WorkQueue(tmp_path / "q"), cache=None)
+        with pytest.raises(ConfigurationError):
+            QueueRunner(WorkQueue(tmp_path / "q"), ResultCache(tmp_path / "c"), workers=0)
+
+    def test_queue_task_identity_matches_the_scenario_api(self, tmp_path):
+        """A queue task is exactly Scenario.cell() + Scenario.cache_key()."""
+        from repro import Scenario
+
+        scenario = Scenario("bert", scale="ci").on_policy("g10")
+        queue = WorkQueue(tmp_path / "q", lease_timeout=60.0)
+        queue.enqueue([scenario.cell()])
+        lease = queue.lease("w0")
+        assert lease.key == scenario.cache_key()
+        assert lease.cell() == scenario.cell().resolved()
+
+    def test_enqueue_records_warm_cells_from_the_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cell = SPEC.cells[0]
+        cache.put(cell.cache_key(), execute_cell(cell), cell=cell.to_dict())
+        queue = WorkQueue(tmp_path / "q", lease_timeout=60.0)
+        counts = queue.enqueue(SPEC.cells, cache=cache)
+        assert counts == {"queued": 2, "warm": 1, "retried": 0, "skipped": 0}
+        status = queue.status()
+        assert status["done"] == 1 and status["queued"] == 2

@@ -1,0 +1,162 @@
+"""Fault injection: a SIGKILLed queue worker must never strand or corrupt cells.
+
+The scenario the work queue exists for: a consumer process (spawned exactly as
+an operator would, ``python -m repro queue work``) claims a cell and dies
+without warning. The suite asserts the full recovery story — the lease
+survives as an expired file, ``requeue_stale`` reclaims the cell, surviving
+workers drain the queue — and the acceptance criterion: the final results are
+bit-for-bit identical to a serial run with a cold cache.
+
+The worker is made deterministic-killable through the ``REPRO_QUEUE_FAULT_DELAY``
+hook (the worker sleeps between leasing and executing), so the SIGKILL always
+lands mid-lease rather than racing the executor.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import (
+    QueueRunner,
+    ResultCache,
+    SweepRunner,
+    WorkQueue,
+    figure11_spec,
+    jsonify,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+SPEC = figure11_spec("ci", models=("bert",))  # 6 cells, 6 distinct keys
+
+
+def spawn_worker(queue_dir: Path, cache_dir: Path, *, fault_delay: float,
+                 lease_timeout: float, worker_id: str) -> subprocess.Popen:
+    """Start a ``repro queue work`` consumer exactly as an operator would."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    env["REPRO_QUEUE_FAULT_DELAY"] = str(fault_delay)
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "queue", "work",
+            "--queue-dir", str(queue_dir), "--cache-dir", str(cache_dir),
+            "--worker-id", worker_id, "--lease-timeout", str(lease_timeout),
+        ],
+        env=env,
+        cwd=REPO_ROOT,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def wait_for(predicate, timeout: float = 120.0, interval: float = 0.05) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise AssertionError("condition not reached before timeout")
+
+
+def test_sigkilled_worker_lease_expires_requeues_and_results_stay_bit_identical(tmp_path):
+    # Serial reference: the same grid with a cold cache, no queue involved.
+    serial = SweepRunner(cache=ResultCache(tmp_path / "serial")).run(SPEC)
+    reference = json.dumps(jsonify([out.payload for out in serial]), indent=2, sort_keys=True)
+
+    queue = WorkQueue(tmp_path / "queue", lease_timeout=5.0)
+    cache = ResultCache(tmp_path / "cache")
+    counts = queue.enqueue(SPEC.cells, cache=cache)
+    assert counts["queued"] == 6
+
+    # A consumer leases a cell and is SIGKILLed mid-lease (the fault-delay
+    # hook guarantees it dies between lease and execute, computing nothing).
+    victim = spawn_worker(
+        tmp_path / "queue", tmp_path / "cache",
+        fault_delay=120.0, lease_timeout=5.0, worker_id="victim",
+    )
+    try:
+        wait_for(lambda: queue.status()["leased"] >= 1)
+    finally:
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.wait(timeout=30)
+
+    # The kill stranded exactly one cell in leased/; nothing completed.
+    status = queue.status()
+    assert status["leased"] == 1 and status["done"] == 0 and status["queued"] == 5
+    assert cache.stats()["entries"] == 0
+
+    # Once the lease deadline passes, the cell is reclaimable — force the
+    # expiry check instead of sleeping the timeout away. The victim leased
+    # the first task in drain order (the smallest cache key).
+    requeued = queue.requeue_stale(now=time.time() + 60.0)
+    assert requeued == [min(cell.cache_key() for cell in SPEC.cells)]
+    status = queue.status()
+    assert status["queued"] == 6 and status["leased"] == 0
+
+    # Surviving workers drain the queue, including the reclaimed cell.
+    QueueRunner(queue, cache, workers=2).drain()
+    status = queue.status()
+    assert status["done"] == status["total"] == 6
+    assert status["queued"] == status["leased"] == status["failed"] == 0
+
+    # The audit log tells the whole story: the victim's lease, its requeue,
+    # and exactly one successful ack per cell.
+    events = queue.events()
+    assert any(e["event"] == "lease" and e["worker"] == "victim" for e in events)
+    assert any(e["event"] == "requeue" and e["worker"] == "victim" for e in events)
+    acked = [e["key"] for e in events if e["event"] == "ack"]
+    assert sorted(acked) == sorted({cell.cache_key() for cell in SPEC.cells})
+
+    # Acceptance: resuming from the queue-built cache equals the serial run,
+    # bit for bit, with zero recomputation.
+    resumed_runner = SweepRunner(cache=cache)
+    resumed = resumed_runner.run(SPEC)
+    assert resumed_runner.last_stats["executed"] == 0
+    assert resumed_runner.last_stats["cache_hits"] == 6
+    actual = json.dumps(jsonify([out.payload for out in resumed]), indent=2, sort_keys=True)
+    assert actual == reference
+
+
+def test_killed_worker_mid_queue_run_then_fresh_runner_completes(tmp_path):
+    """Crash-then-resume at the SweepRunner level: a first queue run loses its
+    only worker, a second run over the same queue directory finishes the grid
+    and serves everything the first run completed from the cache."""
+    queue = WorkQueue(tmp_path / "queue", lease_timeout=5.0)
+    cache = ResultCache(tmp_path / "cache")
+    queue.enqueue(SPEC.cells, cache=cache)
+
+    # A small per-cell delay paces the victim so the kill reliably lands
+    # while the grid is only partially complete.
+    victim = spawn_worker(
+        tmp_path / "queue", tmp_path / "cache",
+        fault_delay=0.3, lease_timeout=5.0, worker_id="victim",
+    )
+    try:
+        # Let the victim really compute a few cells, then kill it mid-run.
+        wait_for(lambda: queue.status()["done"] >= 2)
+    finally:
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.wait(timeout=30)
+
+    before = queue.status()
+    assert 2 <= before["done"] < 6
+
+    # The dead worker may have died holding a lease; reclaim and resume
+    # through the normal SweepRunner queue path (idempotent enqueue skips
+    # every key the queue already tracks).
+    queue.requeue_stale(now=time.time() + 60.0)
+    runner = SweepRunner(
+        jobs=2, cache=cache, queue_dir=tmp_path / "queue", lease_timeout=5.0
+    )
+    outs = runner.run(SPEC)
+    assert queue.status()["done"] == 6
+    assert [out.cell for out in outs] == list(SPEC.cells)
+    # Cells the victim completed before dying were cache hits, not recomputed.
+    assert runner.last_stats["cache_hits"] >= before["done"]
