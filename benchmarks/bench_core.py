@@ -1,0 +1,60 @@
+"""Core-simulator microbenchmark: the cells behind ``repro bench``.
+
+The timing engine lives in :mod:`repro.bench` (so the CLI and this harness
+cannot drift); this module exposes it to the pytest-benchmark suite and, when
+executed directly, regenerates ``BENCH_core.json`` at the repository root::
+
+    python benchmarks/bench_core.py [--quick]
+
+Under pytest only the quick tiers run (the suite is part of tier-1), with one
+sanity assertion per cell: the simulation must finish and report consistent
+perf counters.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.bench import (
+    HEADLINE_CELL,
+    PRE_REFACTOR_SECONDS,
+    bench_cells,
+    run_bench,
+    time_cell,
+    write_bench,
+)
+
+from bench_utils import run_once
+
+
+@pytest.mark.parametrize("cell", bench_cells(quick=True), ids=lambda c: c.name)
+def test_core_cell(benchmark, cell):
+    record = run_once(benchmark, time_cell, cell, repeats=1)
+    assert record["seconds"] > 0
+    assert record["perf"]["kernels_executed"] > 0
+    assert record["perf"]["events_processed"] >= record["perf"]["kernels_executed"]
+    print(
+        f"  {cell.name}: {record['seconds']:.4f}s "
+        f"(pre-refactor {record.get('pre_refactor_seconds', float('nan')):.4f}s)"
+    )
+
+
+def test_headline_cell_is_tracked():
+    """The acceptance-criterion cell must stay in the benchmark set."""
+    assert any(cell.name == HEADLINE_CELL for cell in bench_cells(quick=False))
+    assert HEADLINE_CELL in PRE_REFACTOR_SECONDS
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    quick = "--quick" in argv
+    payload = run_bench(quick=quick, progress=lambda m: print(m, file=sys.stderr))
+    path = write_bench(payload)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -61,10 +61,17 @@ from .graph import DataflowGraph, TrainingGraph, expand_training
 from .models import available_models, build_model
 from .profiling import profile_training_graph
 from .baselines import POLICY_NAMES, available_policies
-from .sim import ExecutionSimulator, SimObserver, SimulationResult, TraceRecorder
-from ._compat import build_workload, make_policy, run_policies, run_policy
+from .sim import (
+    ExecutionSimulator,
+    PerfCounters,
+    SimObserver,
+    SimulationResult,
+    TraceRecorder,
+    simulate,
+)
+from ._compat import build_workload, make_policy, run_policies, run_policy, run_simulation
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "GB",
@@ -98,12 +105,15 @@ __all__ = [
     "POLICY_NAMES",
     "make_policy",
     "ExecutionSimulator",
+    "PerfCounters",
     "SimObserver",
     "TraceRecorder",
     "SimulationResult",
+    "simulate",
     "build_workload",
     "run_policy",
     "run_policies",
+    "run_simulation",
     "ConfigPatch",
     "ResultCache",
     "SweepCell",

@@ -18,6 +18,7 @@ from typing import Callable
 
 from .baselines import factory as _factory
 from .experiments import harness as _harness
+from .sim import engine as _sim_engine
 
 _warned: set[str] = set()
 
@@ -55,4 +56,7 @@ run_policies = _deprecated(
 )
 make_policy = _deprecated(
     "repro.registry.POLICY_REGISTRY.create(name)", _factory.make_policy
+)
+run_simulation = _deprecated(
+    "Scenario(...).run() or repro.sim.engine.simulate(...)", _sim_engine.simulate
 )

@@ -9,6 +9,9 @@ Subcommands:
 * ``sweep``  — run a custom (models x policies x batches) grid;
 * ``report`` — render *every* figure/table from the result cache into
   Markdown + JSON artifacts (or warm one shard of the full grid);
+* ``bench``  — time the simulation core on representative cells and write
+  ``BENCH_core.json`` (the repo's recorded perf trajectory); ``--check``
+  gates CI against >2x regressions of the committed baseline;
 * ``cache``  — inspect, clear, or merge on-disk result caches;
 * ``queue``  — drive the file-backed distributed work queue: ``enqueue`` the
   report grid, ``work`` as a competing consumer, ``status`` the task states,
@@ -322,6 +325,46 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from . import bench as bench_mod
+
+    start = time.monotonic()
+    payload = bench_mod.run_bench(
+        quick=args.quick,
+        repeats=args.repeats,
+        progress=lambda message: print(message, file=sys.stderr),
+    )
+    print(format_table(bench_mod.bench_rows(payload)))
+    headline = payload.get("headline")
+    if headline is not None:
+        print(
+            f"headline {headline['cell']}: {headline['seconds']:.4f}s vs "
+            f"{headline['pre_refactor_seconds']:.4f}s pre-refactor "
+            f"({headline['speedup_vs_pre_refactor']:.2f}x)",
+            file=sys.stderr,
+        )
+    output = args.output or bench_mod.DEFAULT_BENCH_PATH
+    bench_mod.write_bench(payload, output)
+    print(f"wrote {output} ({time.monotonic() - start:.1f}s)", file=sys.stderr)
+    if args.check is not None:
+        try:
+            baseline = bench_mod.load_bench(args.check)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(f"cannot read bench baseline {args.check}: {exc}")
+        regressions = bench_mod.check_regressions(
+            payload, baseline, threshold=args.threshold
+        )
+        if regressions:
+            for message in regressions:
+                print(f"REGRESSION {message}", file=sys.stderr)
+            return 1
+        print(
+            f"no cell regressed beyond {args.threshold:.1f}x of {args.check}",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     if args.action != "merge" and args.sources:
         raise ConfigurationError(
@@ -387,6 +430,7 @@ def _cmd_queue(args: argparse.Namespace) -> int:
             scale=args.scale,
             figures=_csv(args.figures) if args.figures else None,
             cache=cache,
+            priority=args.priority,
         )
         print(
             f"enqueued {counts['queued']} cell(s) into {queue.root} "
@@ -537,6 +581,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: 5)")
     queue.add_argument("--figures", default=None, metavar="IDS",
                        help="enqueue: comma-separated experiment ids (default: all)")
+    queue.add_argument("--priority", choices=("slowest-first",), default=None,
+                       help="enqueue: drain order — slowest-first starts the "
+                            "costliest cells first to shorten the critical path")
     queue.add_argument("--scale", choices=("ci", "paper"), default="ci",
                        help="enqueue: workload scale (default: ci)")
     queue.add_argument("--worker-id", default=None, metavar="ID",
@@ -548,6 +595,22 @@ def build_parser() -> argparse.ArgumentParser:
     queue.add_argument("--no-cache", action="store_true",
                        help="enqueue without consulting the cache for warm cells")
     queue.set_defaults(func=_cmd_queue)
+
+    bench = sub.add_parser(
+        "bench", help="time the simulation core on representative cells"
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="time only the small/medium tiers (the CI smoke set)")
+    bench.add_argument("--repeats", type=int, default=3, metavar="N",
+                       help="timed repetitions per cell; the minimum is recorded (default: 3)")
+    bench.add_argument("--output", default=None, metavar="FILE",
+                       help="benchmark artifact path (default: BENCH_core.json)")
+    bench.add_argument("--check", default=None, metavar="BASELINE",
+                       help="compare against a committed BENCH_core.json and exit "
+                            "non-zero if any timed cell regressed beyond --threshold")
+    bench.add_argument("--threshold", type=float, default=2.0, metavar="X",
+                       help="regression gate for --check (default: 2.0x)")
+    bench.set_defaults(func=_cmd_bench)
 
     cache = sub.add_parser("cache", help="inspect, clear, or merge result caches")
     cache.add_argument("action", choices=("info", "clear", "path", "merge"))

@@ -15,6 +15,7 @@ The pipeline mirrors §4 of the paper:
    program (Figure 9).
 """
 
+from .extents import Extent, ExtentAllocator, coalesce
 from .vitality import InactivePeriod, TensorUsage, TensorVitalityAnalyzer, VitalityReport
 from .pressure import MemoryPressureTimeline
 from .bandwidth import ChannelSchedule, Direction
@@ -30,6 +31,9 @@ from .scheduler import MigrationPlanner
 from .instrumentation import InstrumentedProgram, instrument_program
 
 __all__ = [
+    "Extent",
+    "ExtentAllocator",
+    "coalesce",
     "InactivePeriod",
     "TensorUsage",
     "TensorVitalityAnalyzer",

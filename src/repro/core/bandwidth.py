@@ -13,11 +13,20 @@ Channels:
 
 A GPU->SSD eviction consumes ``ssd_write`` **and** ``pcie_out``; a host-bound
 eviction consumes only ``pcie_out``; prefetches mirror this on the read side.
+
+Implementation note — this is the planner's innermost loop (hundreds of
+thousands of per-slot probes for a paper-scale cell), so the per-slot state is
+kept in plain Python float lists (scalar IEEE-754 arithmetic, bit-identical to
+the previous NumPy version) and each (channel-combination, direction) keeps a
+path-compressed *skip index* over exhausted slots: capacity only ever
+decreases, so a slot whose remaining combined capacity reaches exactly 0.0
+stays exhausted forever and later probes jump over whole runs of them in
+amortized near-constant time. Skipped slots contribute exactly ``0.0`` bytes,
+so probing and reserving remain bit-for-bit identical to the full scan.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from enum import Enum
 
 import numpy as np
@@ -31,19 +40,6 @@ class Direction(Enum):
 
     OUT = "out"  # eviction: GPU -> SSD/host
     IN = "in"  # prefetch: SSD/host -> GPU
-
-
-@dataclass
-class _Channel:
-    """Remaining capacity (bytes) per kernel slot for one physical channel."""
-
-    name: str
-    available: np.ndarray
-
-    def utilization(self, capacity: np.ndarray) -> np.ndarray:
-        with np.errstate(divide="ignore", invalid="ignore"):
-            used = 1.0 - np.where(capacity > 0, self.available / capacity, 1.0)
-        return np.clip(used, 0.0, 1.0)
 
 
 class ChannelSchedule:
@@ -63,8 +59,42 @@ class ChannelSchedule:
             "pcie_out": durations * config.interconnect.bandwidth,
             "pcie_in": durations * config.interconnect.bandwidth,
         }
-        self._channels = {
-            name: _Channel(name, capacity.copy()) for name, capacity in self._capacities.items()
+        #: Remaining capacity per slot, as plain float lists (hot-path state).
+        self._available: dict[str, list[float]] = {
+            name: capacity.tolist() for name, capacity in self._capacities.items()
+        }
+        #: (to_ssd, direction) -> the availability lists a transfer consumes.
+        self._combos: dict[tuple[bool, Direction], tuple[list[float], ...]] = {
+            (False, Direction.OUT): (self._available["pcie_out"],),
+            (True, Direction.OUT): (self._available["pcie_out"], self._available["ssd_write"]),
+            (False, Direction.IN): (self._available["pcie_in"],),
+            (True, Direction.IN): (self._available["pcie_in"], self._available["ssd_read"]),
+        }
+        n = len(durations)
+        #: Per-combo skip indices over exhausted slots (monotone: capacity
+        #: never grows back, so the pointers only ever advance).
+        self._skip_fwd = {key: list(range(n)) for key in self._combos}
+        self._skip_bwd = {key: list(range(n)) for key in self._combos}
+        #: (to_ssd, direction) -> (fixed latency, bandwidth) of one transfer,
+        #: precomputed so the scheduler's cost term is two flops per call.
+        interconnect = config.interconnect
+        self._unloaded: dict[tuple[bool, Direction], tuple[float, float]] = {
+            (True, Direction.OUT): (
+                config.ssd.write_latency + interconnect.latency,
+                min(interconnect.bandwidth, config.ssd.write_bandwidth),
+            ),
+            (True, Direction.IN): (
+                config.ssd.read_latency + interconnect.latency,
+                min(interconnect.bandwidth, config.ssd.read_bandwidth),
+            ),
+            (False, Direction.OUT): (
+                interconnect.latency,
+                min(interconnect.bandwidth, config.host_bandwidth),
+            ),
+            (False, Direction.IN): (
+                interconnect.latency,
+                min(interconnect.bandwidth, config.host_bandwidth),
+            ),
         }
 
     # -- helpers -----------------------------------------------------------
@@ -76,25 +106,94 @@ class ChannelSchedule:
     def slot_duration(self, slot: int) -> float:
         return float(self._durations[slot])
 
-    def _channels_for(self, to_ssd: bool, direction: Direction) -> list[_Channel]:
+    def _channel_names(self, to_ssd: bool, direction: Direction) -> list[str]:
         names = ["pcie_out" if direction is Direction.OUT else "pcie_in"]
         if to_ssd:
             names.append("ssd_write" if direction is Direction.OUT else "ssd_read")
-        return [self._channels[n] for n in names]
+        return names
 
     def utilization(self, channel: str) -> np.ndarray:
         """Per-slot utilization in [0, 1] of one channel."""
-        if channel not in self._channels:
+        return self._utilization_values(channel, 0, self.num_slots)
+
+    def utilization_window(self, channel: str, start: int, stop: int) -> np.ndarray:
+        """Utilization of one channel restricted to slots ``[start, stop)``.
+
+        Identical values to ``utilization(channel)[start:stop]`` without
+        materializing the full curve (the saturation test probes thousands of
+        small windows per planning run).
+        """
+        return self._utilization_values(channel, max(start, 0), min(stop, self.num_slots))
+
+    def _utilization_values(self, channel: str, start: int, stop: int) -> np.ndarray:
+        if channel not in self._available:
             raise SchedulingError(f"unknown channel {channel!r}")
-        return self._channels[channel].utilization(self._capacities[channel])
+        capacity = self._capacities[channel][start:stop]
+        available = np.asarray(self._available[channel][start:stop], dtype=np.float64)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            used = 1.0 - np.where(capacity > 0, available / capacity, 1.0)
+        return np.clip(used, 0.0, 1.0)
 
     def available_bytes(self, to_ssd: bool, direction: Direction, slots: np.ndarray) -> np.ndarray:
         """Per-slot bytes still schedulable for a transfer of the given kind."""
-        channels = self._channels_for(to_ssd, direction)
-        available = channels[0].available[slots].copy()
-        for channel in channels[1:]:
-            available = np.minimum(available, channel.available[slots])
+        lists = self._combos[(to_ssd, direction)]
+        available = np.asarray(lists[0], dtype=np.float64)[slots]
+        for other in lists[1:]:
+            available = np.minimum(available, np.asarray(other, dtype=np.float64)[slots])
         return available
+
+    # -- exhausted-slot skip index -------------------------------------------
+
+    def _next_open_fwd(self, key: tuple[bool, Direction], slot: int) -> int:
+        """First slot >= ``slot`` with combined capacity > 0 (or ``num_slots``)."""
+        skip = self._skip_fwd[key]
+        lists = self._combos[key]
+        n = len(skip)
+        j = slot
+        path = []
+        while j < n:
+            k = skip[j]
+            if k != j:
+                path.append(j)
+                j = k
+                continue
+            exhausted = False
+            for values in lists:
+                if values[j] == 0.0:
+                    exhausted = True
+                    break
+            if not exhausted:
+                break
+            skip[j] = j + 1
+            j += 1
+        for visited in path:
+            skip[visited] = j
+        return j
+
+    def _next_open_bwd(self, key: tuple[bool, Direction], slot: int) -> int:
+        """Last slot <= ``slot`` with combined capacity > 0 (or ``-1``)."""
+        skip = self._skip_bwd[key]
+        lists = self._combos[key]
+        j = slot
+        path = []
+        while j >= 0:
+            k = skip[j]
+            if k != j:
+                path.append(j)
+                j = k
+                continue
+            exhausted = False
+            for values in lists:
+                if values[j] == 0.0:
+                    exhausted = True
+                    break
+            if not exhausted:
+                break
+            skip[j] = j - 1
+            j -= 1
+        for visited in path:
+            skip[visited] = j
+        return j
 
     # -- planning -----------------------------------------------------------
 
@@ -109,11 +208,27 @@ class ChannelSchedule:
         channel capacity. Does not reserve anything.
         """
         remaining = float(size_bytes)
-        for slot in range(start_slot, min(end_slot, self.num_slots)):
-            available = self.available_bytes(to_ssd, direction, np.array([slot]))[0]
+        limit = min(end_slot, self.num_slots)
+        if start_slot >= limit:
+            return None
+        if remaining <= 0:
+            return start_slot
+        key = (to_ssd, direction)
+        lists = self._combos[key]
+        slot = start_slot
+        while slot < limit:
+            slot = self._next_open_fwd(key, slot)
+            if slot >= limit:
+                return None
+            available = lists[0][slot]
+            for other in lists[1:]:
+                value = other[slot]
+                if value < available:
+                    available = value
             remaining -= available
             if remaining <= 0:
                 return slot
+            slot += 1
         return None
 
     def probe_backward(
@@ -127,11 +242,27 @@ class ChannelSchedule:
         window is too congested.
         """
         remaining = float(size_bytes)
-        for slot in range(min(end_slot, self.num_slots) - 1, max(start_slot, 0) - 1, -1):
-            available = self.available_bytes(to_ssd, direction, np.array([slot]))[0]
+        floor = max(start_slot, 0)
+        slot = min(end_slot, self.num_slots) - 1
+        if slot < floor:
+            return None
+        if remaining <= 0:
+            return slot
+        key = (to_ssd, direction)
+        lists = self._combos[key]
+        while slot >= floor:
+            slot = self._next_open_bwd(key, slot)
+            if slot < floor:
+                return None
+            available = lists[0][slot]
+            for other in lists[1:]:
+                value = other[slot]
+                if value < available:
+                    available = value
             remaining -= available
             if remaining <= 0:
                 return slot
+            slot -= 1
         return None
 
     def reserve(
@@ -150,16 +281,27 @@ class ChannelSchedule:
         """
         remaining = float(size_bytes)
         limit = self.num_slots if end_slot is None else min(end_slot, self.num_slots)
-        channels = self._channels_for(to_ssd, direction)
-        for slot in range(start_slot, limit):
-            available = min(float(c.available[slot]) for c in channels)
-            take = min(available, remaining)
+        key = (to_ssd, direction)
+        lists = self._combos[key]
+        slot = start_slot
+        while slot < limit:
+            open_slot = self._next_open_fwd(key, slot)
+            if open_slot >= limit:
+                break
+            slot = open_slot
+            available = lists[0][slot]
+            for other in lists[1:]:
+                value = other[slot]
+                if value < available:
+                    available = value
+            take = available if available < remaining else remaining
             if take > 0:
-                for channel in channels:
-                    channel.available[slot] -= take
+                for values in lists:
+                    values[slot] -= take
                 remaining -= take
             if remaining <= 1e-9:
                 return slot
+            slot += 1
         if end_slot is None and remaining > 1e-9:
             # Spill into the final slot: the transfer finishes late, after the
             # iteration's last kernel. Record it against the last slot.
@@ -170,20 +312,5 @@ class ChannelSchedule:
 
     def transfer_time(self, size_bytes: float, to_ssd: bool, direction: Direction) -> float:
         """Unloaded latency of one transfer (used for the cost term of Algorithm 1)."""
-        pcie_bw = self._config.interconnect.bandwidth
-        if to_ssd:
-            ssd_bw = (
-                self._config.ssd.write_bandwidth
-                if direction is Direction.OUT
-                else self._config.ssd.read_bandwidth
-            )
-            ssd_lat = (
-                self._config.ssd.write_latency
-                if direction is Direction.OUT
-                else self._config.ssd.read_latency
-            )
-            bandwidth = min(pcie_bw, ssd_bw)
-            return ssd_lat + self._config.interconnect.latency + size_bytes / bandwidth
-        return self._config.interconnect.latency + size_bytes / min(
-            pcie_bw, self._config.host_bandwidth
-        )
+        latency, bandwidth = self._unloaded[(to_ssd, direction)]
+        return latency + size_bytes / bandwidth

@@ -93,6 +93,10 @@ class SmartEvictionScheduler:
         self._channels = ChannelSchedule(durations, config)
         self._host_used = np.zeros(self._num_slots, dtype=np.float64)
         self._host_capacity = float(config.host_memory_bytes)
+        # The cost term depends only on the tensor size (channel latencies and
+        # bandwidths are fixed for a run), and the lazy-greedy heap re-scores
+        # candidates constantly — memoize it per size.
+        self._cost_cache: dict[int, float] = {}
 
     # -- public API ----------------------------------------------------------
 
@@ -140,9 +144,13 @@ class SmartEvictionScheduler:
         return self._pressure.eviction_benefit(period)
 
     def _cost(self, period: InactivePeriod) -> float:
-        evict = self._channels.transfer_time(period.size_bytes, to_ssd=True, direction=Direction.OUT)
-        fetch = self._channels.transfer_time(period.size_bytes, to_ssd=True, direction=Direction.IN)
-        return evict + fetch
+        cost = self._cost_cache.get(period.size_bytes)
+        if cost is None:
+            evict = self._channels.transfer_time(period.size_bytes, to_ssd=True, direction=Direction.OUT)
+            fetch = self._channels.transfer_time(period.size_bytes, to_ssd=True, direction=Direction.IN)
+            cost = evict + fetch
+            self._cost_cache[period.size_bytes] = cost
+        return cost
 
     def _score(self, period: InactivePeriod) -> float:
         ranking = self._policy.ranking
@@ -179,16 +187,24 @@ class SmartEvictionScheduler:
         while end_slot < self._num_slots - 1 and elapsed < ideal_seconds:
             elapsed += self._channels.slot_duration(end_slot)
             end_slot += 1
-        window = np.arange(start_slot, end_slot + 1)
-        utilization = self._channels.utilization("ssd_write")[window]
+        utilization = self._channels.utilization_window("ssd_write", start_slot, end_slot + 1)
         return bool(utilization.mean() >= self._policy.ssd_saturation_threshold)
 
     def _host_has_room(self, period: InactivePeriod) -> bool:
-        slots = period_slot_indices(period, self._num_slots)
-        if slots.size == 0:
+        # Period slots are contiguous (two contiguous pieces when wrapping),
+        # so slices replace the index-array lookup — identical values.
+        if period.wraps_around:
+            pieces = (
+                self._host_used[period.start_slot + 1 :],
+                self._host_used[: max(period.end_slot - self._num_slots, 0)],
+            )
+        else:
+            pieces = (self._host_used[period.start_slot + 1 : max(period.end_slot, 0)],)
+        if not any(piece.size for piece in pieces):
             return False
-        return bool(
-            (self._host_used[slots] + period.size_bytes <= self._host_capacity).all()
+        return all(
+            bool((piece + period.size_bytes <= self._host_capacity).all())
+            for piece in pieces
         )
 
     def _probe_destination(

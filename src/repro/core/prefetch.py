@@ -57,7 +57,7 @@ class SmartPrefetcher:
     ) -> int:
         """Search backwards from the current issue slot for spare GPU capacity."""
         capacity = self._pressure.capacity
-        pressure = self._pressure.pressure
+        pressure = self._pressure.pressure_view()
         issue = prefetch.issue_slot
         candidate = issue
         slot = issue - 1

@@ -36,6 +36,12 @@ class MemoryPressureTimeline:
         if self._pressure.ndim != 1 or len(self._pressure) == 0:
             raise SchedulingError("baseline pressure must be a non-empty 1-D array")
         self._capacity = float(capacity_bytes)
+        # The scheduler re-evaluates the same periods' benefit thousands of
+        # times, but the benefit only changes when the curve does — cache it
+        # per mutation epoch (bumped by apply_eviction/add_bytes).
+        self._benefit_cache: dict[tuple[int, int, bool, int], tuple[int, float]] = {}
+        self._epoch = 0
+        self._peak_cache: tuple[int, float] | None = None
 
     # -- views -------------------------------------------------------------
 
@@ -52,9 +58,22 @@ class MemoryPressureTimeline:
         """A read-only copy of the current pressure curve."""
         return self._pressure.copy()
 
+    def pressure_view(self) -> np.ndarray:
+        """The live pressure curve *without* a defensive copy.
+
+        For hot read-only loops (the prefetcher probes one slot at a time);
+        callers must not mutate the returned array.
+        """
+        return self._pressure
+
     @property
     def peak(self) -> float:
-        return float(self._pressure.max())
+        cached = self._peak_cache
+        if cached is not None and cached[0] == self._epoch:
+            return cached[1]
+        peak = float(self._pressure.max())
+        self._peak_cache = (self._epoch, peak)
+        return peak
 
     @property
     def excess(self) -> np.ndarray:
@@ -85,11 +104,29 @@ class MemoryPressureTimeline:
         Matches the paper's definition: the area of the over-capacity region
         removed if the tensor is absent during its inactive period.
         """
-        slots = period_slot_indices(period, self.num_slots)
-        if slots.size == 0:
-            return 0.0
-        excess = np.maximum(self._pressure[slots] - self._capacity, 0.0)
-        return float(np.minimum(excess, period.size_bytes).sum())
+        key = (period.start_slot, period.end_slot, period.wraps_around, period.size_bytes)
+        cached = self._benefit_cache.get(key)
+        if cached is not None and cached[0] == self._epoch:
+            return cached[1]
+        # A period's slots are contiguous (wrap-around ones are two contiguous
+        # pieces), so slicing replaces fancy indexing — same values, same
+        # summation order, no index array.
+        if period.wraps_around:
+            values = np.concatenate(
+                [
+                    self._pressure[period.start_slot + 1 :],
+                    self._pressure[: max(period.end_slot - self.num_slots, 0)],
+                ]
+            )
+        else:
+            values = self._pressure[period.start_slot + 1 : max(period.end_slot, 0)]
+        if values.size == 0:
+            benefit = 0.0
+        else:
+            excess = np.maximum(values - self._capacity, 0.0)
+            benefit = float(np.minimum(excess, period.size_bytes).sum())
+        self._benefit_cache[key] = (self._epoch, benefit)
+        return benefit
 
     # -- mutation --------------------------------------------------------------
 
@@ -97,6 +134,7 @@ class MemoryPressureTimeline:
         """Reduce pressure for the slots during which the tensor is actually absent."""
         if absent_slots.size == 0:
             return
+        self._epoch += 1
         self._pressure[absent_slots] -= period.size_bytes
         if (self._pressure[absent_slots] < -1e-6).any():
             raise SchedulingError("pressure became negative; eviction applied twice?")
@@ -105,4 +143,5 @@ class MemoryPressureTimeline:
         """Add ``nbytes`` of residency for the given slots (prefetch moved earlier)."""
         if slots.size == 0:
             return
+        self._epoch += 1
         self._pressure[slots] += nbytes

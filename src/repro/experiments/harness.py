@@ -23,7 +23,8 @@ from ..models.registry import build_model, normalize_model_name
 from ..profiling import perturb_trace, profile_training_graph
 from ..registry import MODEL_REGISTRY, POLICY_REGISTRY
 from ..baselines import make_policy
-from ..sim import ExecutionSimulator, SimulationResult
+from ..sim import SimulationResult
+from ..sim.engine import simulate
 
 #: Maximum profiling-noise seed accepted by the harness (stored in cache keys
 #: and JSON artifacts as a plain 32-bit value).
@@ -229,10 +230,11 @@ def run_policy(
         planning_graph = perturb_trace(workload.graph, profiling_error, seed)
         planning_report = TensorVitalityAnalyzer(planning_graph).analyze()
         policy = _PrePlanned(policy, planning_report)
-    simulator = ExecutionSimulator(
+    # The single simulation code path: every entry point funnels through
+    # repro.sim.engine.simulate, so simulator setup cannot drift.
+    return simulate(
         workload.graph, config, policy, workload.report, observers=observers
     )
-    return simulator.run()
 
 
 def run_policies(

@@ -66,6 +66,7 @@ import json
 import multiprocessing
 import os
 import re
+import threading
 import time
 from dataclasses import dataclass, replace
 from pathlib import Path
@@ -73,7 +74,7 @@ from typing import Callable, Iterable, Sequence
 
 from ..errors import ConfigurationError, QueueError
 from .cache import ResultCache, _tmp_path
-from .sweep import SweepCell, execute_cell
+from .sweep import SweepCell, estimate_cell_cost, execute_cell
 
 #: Bump when the task-file layout changes; foreign/mismatched files are ignored.
 QUEUE_SCHEMA_VERSION = 1
@@ -172,6 +173,8 @@ class WorkQueue:
         self._leased = self.root / "leased"
         self._done = self.root / "done"
         self._failed = self.root / "failed"
+        #: Cached (mtime_ns, size, mapping) of the advisory priority manifest.
+        self._priority_cache: tuple[int, int, dict[str, float]] | None = None
 
     # -- internals -------------------------------------------------------------
 
@@ -248,6 +251,67 @@ class WorkQueue:
         finally:
             tmp.unlink(missing_ok=True)
 
+    # -- priority ordering -----------------------------------------------------
+
+    @property
+    def _priority_path(self) -> Path:
+        return self.root / "priorities.json"
+
+    def set_priorities(self, costs: dict[str, float]) -> None:
+        """Record estimated costs so :meth:`lease` drains slowest-first.
+
+        The manifest is *advisory*: it only orders the queued directory
+        listing, so a missing/stale manifest degrades to the deterministic
+        name-sorted drain, never to incorrectness. Writes are atomic
+        (tmp + rename) and merge with the existing manifest so concurrent
+        producers enqueueing different grids keep each other's estimates.
+        """
+        merged = dict(self._load_priorities())
+        merged.update({key: float(cost) for key, cost in costs.items()})
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = _tmp_path(self._priority_path)
+        try:
+            with tmp.open("w", encoding="utf-8") as fh:
+                json.dump(merged, fh, separators=(",", ":"), sort_keys=True)
+            os.replace(tmp, self._priority_path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        self._priority_cache = None
+
+    def _load_priorities(self) -> dict[str, float]:
+        """The advisory cost manifest (mtime/size-cached; {} when absent)."""
+        try:
+            stat = self._priority_path.stat()
+        except OSError:
+            return {}
+        cached = self._priority_cache
+        if cached is not None and cached[0] == stat.st_mtime_ns and cached[1] == stat.st_size:
+            return cached[2]
+        try:
+            data = json.loads(self._priority_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return {}
+        mapping = {
+            str(key): float(value)
+            for key, value in data.items()
+            if isinstance(value, (int, float))
+        }
+        self._priority_cache = (stat.st_mtime_ns, stat.st_size, mapping)
+        return mapping
+
+    def _drain_order(self, paths: list[Path]) -> list[Path]:
+        """Queued tasks in drain order: highest estimated cost first, then
+        name order (the historical deterministic order; also the total order
+        when no priorities were recorded)."""
+        costs = self._load_priorities()
+        if not costs:
+            return paths
+        def rank(path: Path) -> tuple[float, str]:
+            match = _QUEUED_RE.match(path.name)
+            key = match["key"] if match else path.name
+            return (-costs.get(key, 0.0), path.name)
+        return sorted(paths, key=rank)
+
     # -- producer side ---------------------------------------------------------
 
     def enqueue_tasks(
@@ -301,11 +365,30 @@ class WorkQueue:
         self._log("enqueue", **counts)
         return counts
 
-    def enqueue(self, cells: Iterable[SweepCell], cache: ResultCache | None = None) -> dict[str, int]:
-        """Enqueue sweep cells, deduplicated on cache key (warm cells done)."""
+    def enqueue(
+        self,
+        cells: Iterable[SweepCell],
+        cache: ResultCache | None = None,
+        priority: str | None = None,
+    ) -> dict[str, int]:
+        """Enqueue sweep cells, deduplicated on cache key (warm cells done).
+
+        ``priority="slowest-first"`` additionally records each cell's
+        estimated cost (:func:`~repro.experiments.sweep.estimate_cell_cost`)
+        so consumers start the longest cells first, shortening the drain's
+        critical path when the last few cells would otherwise straggle.
+        """
+        if priority not in (None, "slowest-first"):
+            raise ConfigurationError(
+                f"unknown queue priority {priority!r}; expected 'slowest-first'"
+            )
         distinct: dict[str, SweepCell] = {}
         for cell in cells:
             distinct.setdefault(cell.cache_key(), cell)
+        if priority == "slowest-first":
+            self.set_priorities(
+                {key: estimate_cell_cost(cell) for key, cell in distinct.items()}
+            )
         warm = {key for key in distinct if cache is not None and cache.has(key)}
         return self.enqueue_tasks(
             ((key, {"cell": cell.to_dict()}) for key, cell in distinct.items()), warm=warm
@@ -316,13 +399,15 @@ class WorkQueue:
     def lease(self, worker: str | None = None) -> Lease | None:
         """Claim the next task, or ``None`` when nothing is queued.
 
-        Tasks drain in deterministic (key-sorted) order. The claim is a
+        Tasks drain in deterministic order: highest recorded priority cost
+        first (``slowest-first`` enqueueing), then key-sorted — which is the
+        entire order when no priorities were recorded. The claim is a
         single atomic rename whose target filename publishes the lease
         deadline and worker id; a task whose attempt counter would exceed
         ``max_attempts`` is parked in ``failed/`` instead.
         """
         worker = _sanitize_worker(worker or f"pid-{os.getpid()}")
-        for path in self._listdir(self._queued):
+        for path in self._drain_order(self._listdir(self._queued)):
             match = _QUEUED_RE.match(path.name)
             if match is None:
                 continue  # foreign file; never touch it
@@ -404,7 +489,12 @@ class WorkQueue:
         return True
 
     def renew(self, lease: Lease) -> Lease | None:
-        """Extend a held lease; ``None`` when it was already reclaimed."""
+        """Extend a held lease; ``None`` when it was already reclaimed.
+
+        The renewal is one atomic rename publishing a fresh deadline, so a
+        long-running cell's lease never expires under it while the worker is
+        demonstrably alive (see :func:`run_worker`'s heartbeat).
+        """
         deadline_us = int((self._clock() + self.lease_timeout) * 1e6)
         target = self._leased / (
             f"{lease.key}.a{lease.attempts}.d{deadline_us}.w{lease.worker}.json"
@@ -413,6 +503,7 @@ class WorkQueue:
             Path(lease.path).rename(target)
         except FileNotFoundError:
             return None
+        self._log("renew", key=lease.key, worker=lease.worker, attempts=lease.attempts)
         return replace(lease, path=target, deadline=deadline_us / 1e6)
 
     def requeue_stale(self, now: float | None = None) -> list[str]:
@@ -504,20 +595,69 @@ class WorkQueue:
             shutil.rmtree(self.root)
 
 
+class LeaseHeartbeat:
+    """Renews a held lease on a background thread partway through its deadline.
+
+    Long paper-scale cells used to depend on a generous ``--lease-timeout``:
+    any cell slower than the timeout was presumed dead, reclaimed, and
+    recomputed. The heartbeat renews the lease (one atomic rename) every
+    ``interval`` seconds — half the lease timeout by default — so a live
+    worker's lease never expires, while a SIGKILLed worker's heartbeat dies
+    with it and its lease still expires on schedule. If the lease was already
+    reclaimed (e.g. an operator forced ``requeue-stale``), renewal stops and
+    the worker keeps computing: completion stays idempotent via the
+    content-addressed cache and :meth:`WorkQueue.ack`.
+    """
+
+    def __init__(self, queue: WorkQueue, lease: Lease, interval: float | None = None):
+        self._queue = queue
+        self._lease = lease
+        self._interval = queue.lease_timeout / 2 if interval is None else interval
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=f"lease-heartbeat-{lease.key[:12]}", daemon=True
+        )
+
+    def __enter__(self) -> "LeaseHeartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self._stop.set()
+        self._thread.join()
+
+    @property
+    def lease(self) -> Lease:
+        """The currently held lease (latest renewal); only read after exit."""
+        return self._lease
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            renewed = self._queue.renew(self._lease)
+            if renewed is None:
+                return
+            self._lease = renewed
+
+
 def run_worker(
     queue: WorkQueue,
     cache: ResultCache,
     worker_id: str | None = None,
     poll_interval: float = 0.05,
+    heartbeat_interval: float | None = None,
 ) -> int:
     """Drain a queue: lease cells, execute, cache, ack — until nothing is left.
 
     The loop exits once the queue is drained (every task done or failed). When
     queued is empty but peers still hold leases, the worker idles, reviving
     expired leases via :meth:`WorkQueue.requeue_stale` so cells claimed by a
-    dead worker are never stranded. Execution errors release the task for
-    retry (bounded by the queue's ``max_attempts``) instead of killing the
-    worker. Returns the number of cells this worker actually executed.
+    dead worker are never stranded. While a cell executes, a
+    :class:`LeaseHeartbeat` renews its lease partway through the deadline
+    (``heartbeat_interval`` overrides the default of half the lease timeout),
+    so long cells no longer depend on a generous ``--lease-timeout``.
+    Execution errors release the task for retry (bounded by the queue's
+    ``max_attempts``) instead of killing the worker. Returns the number of
+    cells this worker actually executed.
     """
     worker_id = worker_id or f"pid-{os.getpid()}"
     fault_delay = float(os.environ.get(FAULT_DELAY_ENV, "0") or 0)
@@ -532,15 +672,17 @@ def run_worker(
             continue
         if fault_delay:
             time.sleep(fault_delay)
+        heartbeat = LeaseHeartbeat(queue, lease, interval=heartbeat_interval)
         try:
-            if cache.get(lease.key) is None:
-                payload = execute_cell(lease.cell())
-                cache.put(lease.key, payload, cell=lease.task.get("cell"))
-                executed += 1
-            queue.ack(lease)
+            with heartbeat:
+                if cache.get(lease.key) is None:
+                    payload = execute_cell(lease.cell())
+                    cache.put(lease.key, payload, cell=lease.task.get("cell"))
+                    executed += 1
+            queue.ack(heartbeat.lease)
         except Exception as exc:  # noqa: BLE001 - fault isolation per task
             queue._log("error", key=lease.key, worker=worker_id, error=repr(exc))
-            queue.release(lease)
+            queue.release(heartbeat.lease)
 
 
 def _worker_main(

@@ -279,6 +279,7 @@ def enqueue_report(
     scale: str = "ci",
     figures: Sequence[str] | None = None,
     cache=None,
+    priority: str | None = None,
 ) -> dict[str, int]:
     """Enqueue the union report grid into a work queue (``repro queue enqueue``).
 
@@ -288,9 +289,10 @@ def enqueue_report(
     caches makes :func:`generate_report` a pure, ``expect_warm`` resume.
     Cells already warm in ``cache`` are recorded as done rather than queued.
     Enqueueing is idempotent — keys already tracked by the queue are skipped —
-    so a crashed producer can simply re-run.
+    so a crashed producer can simply re-run. ``priority="slowest-first"``
+    records estimated cell costs so consumers start the longest cells first.
     """
-    return queue.enqueue(combined_spec(scale, figures).cells, cache=cache)
+    return queue.enqueue(combined_spec(scale, figures).cells, cache=cache, priority=priority)
 
 
 def warm_cache(
@@ -331,6 +333,46 @@ def _provenance(plan: SweepPlan) -> list[dict[str, object]]:
     return rows
 
 
+#: PerfCounters fields aggregated into report provenance.
+_PERF_FIELDS = ("events_processed", "pages_moved", "fault_events", "eviction_stalls")
+
+
+def _perf_totals(
+    plan: SweepPlan, cache, memo: dict[str, dict] | None = None
+) -> dict[str, int]:
+    """Aggregate the simulator's :class:`~repro.sim.results.PerfCounters`
+    over a figure's distinct cached cells.
+
+    The counters are deterministic, so they serialize into the cached payloads
+    and the report can attribute simulation work (events processed, pages
+    moved, faults, eviction stalls) per figure without re-running anything.
+    ``memo`` caches extracted counters per cache key across figures — the
+    report figures share most of their cells (12-14 are subsets of 11's
+    grid), so one payload parse per distinct key serves the whole report.
+    """
+    totals = dict.fromkeys(_PERF_FIELDS, 0)
+    if cache is None:
+        return totals
+    memo = {} if memo is None else memo
+    seen: set[str] = set()
+    for entry in plan.entries:
+        if entry.key in seen:
+            continue
+        seen.add(entry.key)
+        perf = memo.get(entry.key)
+        if perf is None:
+            payload = cache.get(entry.key)
+            if payload is None or payload.get("kind") != "simulation":
+                perf = dict.fromkeys(_PERF_FIELDS, 0)
+            else:
+                raw = payload.get("result", {}).get("perf", {})
+                perf = {field: int(raw.get(field, 0)) for field in _PERF_FIELDS}
+            memo[entry.key] = perf
+        for field in _PERF_FIELDS:
+            totals[field] += perf[field]
+    return totals
+
+
 def generate_report(
     scale: str = "ci",
     figures: Sequence[str] | None = None,
@@ -359,9 +401,11 @@ def generate_report(
     manifest: dict = {"scale": scale, "figures": []}
     if runner.cache is not None:
         manifest["cache_root"] = str(runner.cache.root)
+    perf_memo: dict[str, dict] = {}
 
     for experiment in _resolve(figures):
         entry: dict = {"id": experiment.id, "title": experiment.title}
+        plan = None
         if experiment.spec is not None:
             plan = runner.plan(experiment.spec(scale))
             entry.update(plan.counts())
@@ -370,6 +414,13 @@ def generate_report(
             entry.update({"cells": 0, "distinct": 0, "warm": 0, "to_execute": 0})
             entry["provenance"] = []
         payload = jsonify(experiment.render(scale=scale, runner=runner))
+        if plan is not None:
+            # After rendering, every cell is in the cache; attribute the
+            # simulator's perf counters to this figure (the plan's cache keys
+            # are render-invariant, so the pre-render plan serves).
+            entry["perf"] = _perf_totals(plan, runner.cache, memo=perf_memo)
+        else:
+            entry["perf"] = dict.fromkeys(_PERF_FIELDS, 0)
         artifact = output_dir / f"{artifact_name(experiment.id)}.json"
         with artifact.open("w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
@@ -382,6 +433,10 @@ def generate_report(
         "distinct": sum(f["distinct"] for f in manifest["figures"]),
         "warm": sum(f["warm"] for f in manifest["figures"]),
         "recomputed": sum(f["to_execute"] for f in manifest["figures"]),
+        "perf": {
+            field: sum(f["perf"].get(field, 0) for f in manifest["figures"])
+            for field in _PERF_FIELDS
+        },
     }
     manifest["totals"] = totals
 
@@ -426,6 +481,14 @@ def render_report_markdown(manifest: dict) -> str:
     ]
     if "cache_root" in manifest:
         lines.append(f"Cache root: `{manifest['cache_root']}`.")
+    perf = totals.get("perf")
+    if perf:
+        lines.append(
+            f"Simulation work behind the artifacts: {perf['events_processed']:,} "
+            f"events processed, {perf['pages_moved']:,} pages moved, "
+            f"{perf['fault_events']:,} fault events, "
+            f"{perf['eviction_stalls']:,} eviction stalls."
+        )
     lines += [
         "",
         format_markdown_table(

@@ -424,6 +424,29 @@ def _execute_cell_dict(cell_dict: dict) -> dict:
     return execute_cell(SweepCell.from_dict(cell_dict))
 
 
+def estimate_cell_cost(cell: SweepCell) -> float:
+    """Relative execution-cost estimate of one cell (for drain ordering).
+
+    The proxy is ``num_kernels x batch_size``: the simulator's work grows with
+    the kernel count (event-loop length, planner candidates) and memory
+    pressure grows with the batch, which is what makes the planner and the
+    eviction path expensive. The workload is built through the memoized
+    :func:`~repro.experiments.harness.build_workload`, so estimating a grid
+    costs one profile per distinct (model, batch, scale) — the same profiles
+    the sweep itself will reuse. Characterization cells (``policy=None``) skip
+    the simulation entirely and are weighted down accordingly.
+
+    Only the *ordering* of the estimates matters (slowest-first queue drain);
+    the absolute scale is meaningless.
+    """
+    cell = cell.resolved()
+    workload = build_workload(cell.model, cell.batch_size, cell.scale)
+    cost = float(workload.graph.num_kernels * workload.batch_size)
+    if cell.policy is None:
+        cost *= 0.1
+    return cost
+
+
 class SweepRunner:
     """Executes sweep specs with deduplication, caching and optional parallelism.
 

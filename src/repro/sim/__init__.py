@@ -7,17 +7,19 @@ timed by the :class:`~repro.uvm.MigrationEngine`, and every stall is accounted
 per kernel. Policies (``repro.baselines``) decide which tensors move when.
 """
 
-from .results import KernelTiming, SimulationResult
+from .results import KernelTiming, PerfCounters, SimulationResult
 from .executor import ExecutionSimulator
-from .engine import EventQueue, Event
+from .engine import EventQueue, Event, simulate
 from .observer import SimObserver, TraceRecorder
 
 __all__ = [
     "KernelTiming",
+    "PerfCounters",
     "SimulationResult",
     "ExecutionSimulator",
     "EventQueue",
     "Event",
+    "simulate",
     "SimObserver",
     "TraceRecorder",
 ]

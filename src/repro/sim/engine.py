@@ -1,22 +1,45 @@
-"""A minimal discrete-event queue used by the execution simulator."""
+"""The simulation engine: the event queue and the single simulation entry point.
+
+Every way of running a simulation — ``Scenario.run()``, the sweep runner's
+worker processes, the legacy ``run_policy`` harness function and its
+deprecated ``repro.run_simulation`` shim — funnels into :func:`simulate`,
+which owns the one place an :class:`~repro.sim.executor.ExecutionSimulator`
+is constructed. The executor itself replays the kernel trace by draining a
+single :class:`EventQueue` of timestamped events (kernel boundaries, transfer
+completions), with a :class:`~repro.sim.results.PerfCounters` instrumentation
+layer recording what the loop did.
+"""
 
 from __future__ import annotations
 
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from ..errors import SimulationError
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..config import SystemConfig
+    from ..core.vitality import VitalityReport
+    from ..graph.training import TrainingGraph
+    from .observer import SimObserver
+    from .results import SimulationResult
 
 @dataclass(order=True)
 class Event:
-    """One scheduled event: a timestamp plus an arbitrary payload."""
+    """One scheduled event: a timestamp plus an arbitrary payload.
+
+    Events order by ``(time, priority, sequence)``; the priority gives the
+    executor deterministic tie-breaks between same-timestamp events (eviction
+    completions are scheduled with ``priority=tensor_id``, reproducing the
+    historical ``(completion, tensor_id)`` drain order).
+    """
 
     time: float
-    sequence: int
-    kind: str = field(compare=False)
+    priority: int = 0
+    sequence: int = 0
+    kind: str = field(compare=False, default="")
     payload: Any = field(compare=False, default=None)
 
 
@@ -35,11 +58,14 @@ class EventQueue:
     def __len__(self) -> int:
         return len(self._heap)
 
-    def schedule(self, time: float, kind: str, payload: Any = None) -> Event:
+    def schedule(self, time: float, kind: str, payload: Any = None, priority: int = 0) -> Event:
         """Add an event at an absolute timestamp."""
         if time < 0:
             raise SimulationError("cannot schedule an event at negative time")
-        event = Event(time=time, sequence=next(self._counter), kind=kind, payload=payload)
+        event = Event(
+            time=time, priority=priority, sequence=next(self._counter),
+            kind=kind, payload=payload,
+        )
         heapq.heappush(self._heap, event)
         return event
 
@@ -66,3 +92,22 @@ class EventQueue:
         """Pop and handle every remaining event."""
         while self._heap:
             handler(self.pop())
+
+
+def simulate(
+    graph: "TrainingGraph",
+    config: "SystemConfig",
+    policy,
+    report: "VitalityReport | None" = None,
+    observers: "Sequence[SimObserver]" = (),
+) -> "SimulationResult":
+    """Run one training iteration under a policy — the single simulation path.
+
+    This is the only place an :class:`~repro.sim.executor.ExecutionSimulator`
+    is constructed: the Scenario/Session API, the sweep/queue workers, the
+    legacy harness functions and the ``repro.run_simulation`` shim all route
+    here, so simulator setup logic cannot drift between entry points.
+    """
+    from .executor import ExecutionSimulator
+
+    return ExecutionSimulator(graph, config, policy, report, observers=observers).run()

@@ -1,8 +1,18 @@
-"""The execution simulator: replay one training iteration under a policy."""
+"""The execution simulator: replay one training iteration under a policy.
+
+The replay is a single event loop: transfer completions are events in one
+:class:`~repro.sim.engine.EventQueue` (ordered by time, then tensor id, so
+same-timestamp drains are deterministic) and kernel boundaries advance the
+clock, draining due events before each kernel starts. A
+:class:`~repro.sim.results.PerfCounters` layer records what the loop did —
+events processed, pages moved, faults, eviction stalls — plus host wall-time
+per phase.
+"""
 
 from __future__ import annotations
 
-import heapq
+import math
+import time as _time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Sequence
@@ -17,9 +27,10 @@ from ..uvm.fault import PageFaultModel
 from ..uvm.memory import MemoryPool
 from ..uvm.migration import MigrationEngine, MigrationKind, MigrationRequest
 from ..uvm.page_table import MemoryLocation, UnifiedPageTable
+from .engine import EventQueue
 from .observer import SimObserver
 from .policy import MigrationDecision, MigrationPolicy, PolicyContext
-from .results import KernelTiming, SimulationResult
+from .results import KernelTiming, PerfCounters, SimulationResult
 
 #: Effectively unlimited capacity used by the Ideal policy's GPU pool.
 _UNLIMITED = 1 << 62
@@ -67,6 +78,7 @@ class ExecutionSimulator:
         self._policy = policy
         self._report = report or TensorVitalityAnalyzer(graph).analyze()
         self._observers: list[SimObserver] = list(observers)
+        self._perf = PerfCounters()
 
         gpu_capacity = config.gpu.memory_bytes if policy.enforce_capacity else _UNLIMITED
         self._gpu = MemoryPool("gpu", gpu_capacity, config.uvm.page_size)
@@ -74,7 +86,9 @@ class ExecutionSimulator:
         self._page_table = UnifiedPageTable(UnifiedAddressSpace(config.uvm.page_size))
         self._fault_model = PageFaultModel(config.uvm)
 
+        plan_start = _time.perf_counter()
         policy.setup(PolicyContext(config=config, graph=graph, report=self._report))
+        self._perf.phase_seconds["plan"] = _time.perf_counter() - plan_start
         self._engine = MigrationEngine(
             config,
             ssd=SSDDevice(config.ssd),
@@ -85,8 +99,9 @@ class ExecutionSimulator:
         self._arrival_time: dict[int, float] = {}
         #: tensor id -> pending eviction record (GPU space not yet released).
         self._evicting: dict[int, _PendingEviction] = {}
-        #: min-heap of pending evictions ordered by completion time.
-        self._eviction_heap: list[tuple[float, int]] = []
+        #: The single event loop: in-flight eviction completions, ordered by
+        #: (time, tensor id) so same-timestamp drains are deterministic.
+        self._events = EventQueue()
         #: Planned prefetches that could not start for lack of GPU headroom;
         #: retried at the next kernel boundaries (the migration handler keeps
         #: them queued rather than dropping them).
@@ -114,11 +129,20 @@ class ExecutionSimulator:
         """Attach one more observer before (or during) the run."""
         self._observers.append(observer)
 
+    @property
+    def perf(self) -> PerfCounters:
+        """Live instrumentation counters of this run."""
+        return self._perf
+
     def run(self) -> SimulationResult:
         """Simulate one training iteration and return the result."""
+        execute_start = _time.perf_counter()
         try:
-            return self._run()
+            result = self._run()
+            self._finalize_perf(execute_start)
+            return result
         except _WorkloadFailure as failure:
+            self._finalize_perf(execute_start)
             return SimulationResult(
                 model_name=self._graph.name,
                 batch_size=self._graph.batch_size,
@@ -127,7 +151,13 @@ class ExecutionSimulator:
                 execution_time=float("inf"),
                 failed=True,
                 failure_reason=str(failure),
+                perf=self._perf,
             )
+
+    def _finalize_perf(self, execute_start: float) -> None:
+        self._perf.phase_seconds["execute"] = _time.perf_counter() - execute_start
+        self._perf.fault_events = self._fault_events
+        self._perf.pte_updates = self._page_table.pte_updates
 
     # -- main loop --------------------------------------------------------------------
 
@@ -163,6 +193,8 @@ class ExecutionSimulator:
             )
             timings.append(timing)
             now = finish
+            self._perf.events_processed += 1
+            self._perf.kernels_executed += 1
             for observer in self._observers:
                 observer.on_kernel_finish(kernel, timing, now)
 
@@ -183,6 +215,7 @@ class ExecutionSimulator:
             ideal_time=self._graph.trace().total_compute_time,
             execution_time=now,
             kernel_timings=timings,
+            perf=self._perf,
             traffic=self._engine.traffic,
             ssd_bytes_written=ssd.statistics.bytes_written,
             ssd_bytes_read=ssd.statistics.bytes_read,
@@ -324,13 +357,16 @@ class ExecutionSimulator:
             self._host.allocate(tensor_id, size)
         self._page_table.place(tensor_id, target)
         self._evicting[tensor_id] = _PendingEviction(completion, tensor_id, size)
-        heapq.heappush(self._eviction_heap, (completion, tensor_id))
+        self._events.schedule(completion, "eviction-complete", tensor_id, priority=tensor_id)
         self._arrival_time.pop(tensor_id, None)
         return completion
 
     def _submit(self, request: MigrationRequest, when: float) -> float:
         """Submit a migration to the engine, notifying observers."""
         completion = self._engine.submit(request, when)
+        self._perf.pages_moved += max(
+            1, math.ceil(request.size_bytes / self._config.uvm.page_size)
+        )
         for observer in self._observers:
             observer.on_migration(request, when, completion)
         return completion
@@ -345,11 +381,11 @@ class ExecutionSimulator:
 
     def _drain_evictions(self, now: float) -> None:
         """Release GPU space for evictions whose transfer has completed."""
-        while self._eviction_heap and self._eviction_heap[0][0] <= now:
-            _, tensor_id = heapq.heappop(self._eviction_heap)
-            pending = self._evicting.pop(tensor_id, None)
+        for event in self._events.pop_until(now):
+            self._perf.events_processed += 1
+            pending = self._evicting.pop(event.payload, None)
             if pending is not None:
-                self._gpu.free(tensor_id)
+                self._gpu.free(event.payload)
 
     def _make_space(self, size_bytes: int, protected: set[int], now: float) -> float:
         """Ensure ``size_bytes`` can be allocated; returns when the space exists."""
@@ -378,16 +414,20 @@ class ExecutionSimulator:
 
         # Then wait for enough in-flight evictions to drain.
         while not self._gpu.can_fit(size_bytes):
-            if not self._eviction_heap:
+            if not len(self._events):
                 raise _WorkloadFailure(
                     f"policy {self._policy.name!r} cannot free {size_bytes} bytes of GPU "
                     "memory: the kernel working set exceeds usable capacity"
                 )
-            completion, tensor_id = heapq.heappop(self._eviction_heap)
-            current = max(current, completion)
-            pending = self._evicting.pop(tensor_id, None)
+            event = self._events.pop()
+            self._perf.events_processed += 1
+            current = max(current, event.time)
+            pending = self._evicting.pop(event.payload, None)
             if pending is not None:
-                self._gpu.free(tensor_id)
+                self._gpu.free(event.payload)
+        if current > now:
+            self._perf.eviction_stalls += 1
+            self._perf.eviction_stall_seconds += current - now
         return current
 
     # -- tensor lifetime ------------------------------------------------------------------------

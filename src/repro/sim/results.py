@@ -48,6 +48,62 @@ class KernelTiming:
 
 
 @dataclass
+class PerfCounters:
+    """Instrumentation of one simulator run: what the event loop actually did.
+
+    All counters are *deterministic* — two runs of the same cell produce
+    identical values, so they serialize into cached payloads without breaking
+    bit-for-bit reproducibility. The only exception is :attr:`phase_seconds`
+    (host wall-clock time per phase), which is excluded from equality and from
+    :meth:`to_dict` precisely because it is machine-dependent; it exists so
+    ``repro bench`` and interactive profiling can see where real time went.
+    """
+
+    #: Events the simulation loop processed (kernel boundaries + completions).
+    events_processed: int = 0
+    #: Kernels replayed.
+    kernels_executed: int = 0
+    #: 4 KB pages moved across the hierarchy by faults/prefetches/evictions.
+    pages_moved: int = 0
+    #: Leaf PTE updates charged by the unified page table.
+    pte_updates: int = 0
+    #: Demand page-fault events taken (mirrors ``SimulationResult.fault_events``).
+    fault_events: int = 0
+    #: Times a kernel had to wait on in-flight evictions for GPU space.
+    eviction_stalls: int = 0
+    #: Simulated seconds spent waiting on eviction drains for space.
+    eviction_stall_seconds: float = 0.0
+    #: Host wall-clock seconds per phase ("plan", "execute"); not serialized,
+    #: not compared (machine-dependent).
+    phase_seconds: dict = field(default_factory=dict, compare=False, repr=False)
+
+    def to_dict(self) -> dict:
+        """JSON-safe dump of the deterministic counters only."""
+        return {
+            "events_processed": self.events_processed,
+            "kernels_executed": self.kernels_executed,
+            "pages_moved": self.pages_moved,
+            "pte_updates": self.pte_updates,
+            "fault_events": self.fault_events,
+            "eviction_stalls": self.eviction_stalls,
+            "eviction_stall_seconds": self.eviction_stall_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PerfCounters":
+        """Inverse of :meth:`to_dict`; tolerates payloads from older versions."""
+        return cls(
+            events_processed=data.get("events_processed", 0),
+            kernels_executed=data.get("kernels_executed", 0),
+            pages_moved=data.get("pages_moved", 0),
+            pte_updates=data.get("pte_updates", 0),
+            fault_events=data.get("fault_events", 0),
+            eviction_stalls=data.get("eviction_stalls", 0),
+            eviction_stall_seconds=data.get("eviction_stall_seconds", 0.0),
+        )
+
+
+@dataclass
 class SimulationResult:
     """Everything a policy run produces, consumed by the experiment harness."""
 
@@ -73,6 +129,8 @@ class SimulationResult:
     #: with a kernel working set that exceeds GPU memory).
     failed: bool = False
     failure_reason: str = ""
+    #: Event-loop instrumentation (deterministic counters + wall-time phases).
+    perf: PerfCounters = field(default_factory=PerfCounters)
 
     def __post_init__(self) -> None:
         if not self.failed and self.execution_time + 1e-12 < self.ideal_time:
@@ -158,6 +216,7 @@ class SimulationResult:
             "peak_host_bytes": self.peak_host_bytes,
             "failed": self.failed,
             "failure_reason": self.failure_reason,
+            "perf": self.perf.to_dict(),
         }
 
     @classmethod
@@ -182,6 +241,7 @@ class SimulationResult:
             peak_host_bytes=data["peak_host_bytes"],
             failed=data["failed"],
             failure_reason=data["failure_reason"],
+            perf=PerfCounters.from_dict(data.get("perf", {})),
         )
 
     def summary(self) -> dict[str, float | str | bool]:

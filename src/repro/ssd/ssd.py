@@ -55,9 +55,14 @@ class SSDDevice:
         self._ftl = FlashTranslationLayer(self._geometry, gc_threshold_blocks=gc_blocks)
         self._wear = WearTracker(config)
         self._stats = SSDStatistics()
-        #: logical unit ids assigned to each stored object (tensor id -> units).
-        self._objects: dict[int, list[int]] = {}
+        #: logical unit run assigned to each stored object: tensor id ->
+        #: (first_unit, num_units). Objects are written in one contiguous run
+        #: (tensor transfers are sequential), so one extent record replaces a
+        #: per-unit id list.
+        self._objects: dict[int, tuple[int, int]] = {}
         self._next_unit = 0
+        #: Units of live objects, maintained incrementally (O(1) stored_bytes).
+        self._stored_units = 0
 
     @staticmethod
     def _choose_mapping_unit(config: SSDConfig) -> int:
@@ -91,7 +96,7 @@ class SSDDevice:
     @property
     def stored_bytes(self) -> int:
         """Bytes of live objects currently resident on flash."""
-        return sum(len(units) for units in self._objects.values()) * self._mapping_unit
+        return self._stored_units * self._mapping_unit
 
     def contains(self, object_id: int) -> bool:
         return object_id in self._objects
@@ -105,18 +110,12 @@ class SSDDevice:
         if self.stored_bytes + size_bytes > self._config.capacity_bytes:
             raise SSDError("SSD capacity exceeded")
         self._discard_units(object_id)
-        units = []
-        gc_pages = 0
-        gc_runs = 0
-        for _ in range(self._units_for(size_bytes)):
-            unit = self._next_unit
-            self._next_unit += 1
-            result = self._ftl.write(unit)
-            if result.ran:
-                gc_runs += result.blocks_erased
-                gc_pages += result.pages_relocated
-            units.append(unit)
-        self._objects[object_id] = units
+        first_unit, num_units = self._claim_run(size_bytes)
+        result = self._ftl.write_run(first_unit, num_units)
+        gc_runs = result.blocks_erased
+        gc_pages = result.pages_relocated
+        self._objects[object_id] = (first_unit, num_units)
+        self._stored_units += num_units
 
         service = self._transfer_time(size_bytes, write=True)
         service += gc_pages * (self._config.write_latency + self._config.read_latency)
@@ -149,13 +148,10 @@ class SSDDevice:
         if size_bytes <= 0:
             raise SSDError("cannot preload an empty object")
         self._discard_units(object_id)
-        units = []
-        for _ in range(self._units_for(size_bytes)):
-            unit = self._next_unit
-            self._next_unit += 1
-            self._ftl.write(unit)
-            units.append(unit)
-        self._objects[object_id] = units
+        first_unit, num_units = self._claim_run(size_bytes)
+        self._ftl.write_run(first_unit, num_units)
+        self._objects[object_id] = (first_unit, num_units)
+        self._stored_units += num_units
 
     def discard_object(self, object_id: int) -> None:
         """TRIM an object (freed tensor or tensor migrated back for good)."""
@@ -171,9 +167,18 @@ class SSDDevice:
     def _units_for(self, size_bytes: int) -> int:
         return max(1, math.ceil(size_bytes / self._mapping_unit))
 
+    def _claim_run(self, size_bytes: int) -> tuple[int, int]:
+        """Assign a fresh contiguous logical-unit run for an object."""
+        num_units = self._units_for(size_bytes)
+        first_unit = self._next_unit
+        self._next_unit += num_units
+        return first_unit, num_units
+
     def _discard_units(self, object_id: int) -> None:
-        for unit in self._objects.get(object_id, ()):
-            self._ftl.trim(unit)
+        run = self._objects.get(object_id)
+        if run is not None:
+            self._ftl.trim_run(run[0], run[1])
+            self._stored_units -= run[1]
 
     def _transfer_time(self, size_bytes: int, write: bool) -> float:
         bandwidth = self._config.write_bandwidth if write else self._config.read_bandwidth

@@ -3,9 +3,12 @@
 from __future__ import annotations
 
 import math
+from bisect import bisect_right
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from ..config import PAGE_SIZE
+from ..core.extents import Extent
 from ..errors import AllocationError, TranslationError
 
 
@@ -23,15 +26,18 @@ class VirtualRange:
         if self.size_bytes <= 0:
             raise AllocationError("virtual ranges must have positive size")
 
-    @property
+    # Derived page arithmetic is queried on every residency check/migration;
+    # cache it (works on a frozen dataclass: cached_property writes straight
+    # to __dict__, and dataclass equality only considers declared fields).
+    @cached_property
     def num_pages(self) -> int:
         return math.ceil(self.size_bytes / self.page_size)
 
-    @property
+    @cached_property
     def end(self) -> int:
         return self.start + self.num_pages * self.page_size
 
-    @property
+    @cached_property
     def first_page(self) -> int:
         return self.start // self.page_size
 
@@ -41,6 +47,11 @@ class VirtualRange:
 
     def contains(self, vaddr: int) -> bool:
         return self.start <= vaddr < self.end
+
+    @property
+    def extent(self) -> Extent:
+        """The virtual page run backing this range."""
+        return Extent(self.first_page, self.num_pages)
 
 
 @dataclass
@@ -57,6 +68,10 @@ class UnifiedAddressSpace:
     page_size: int = PAGE_SIZE
     _ranges: dict[int, VirtualRange] = field(default_factory=dict)
     _next_start: int = 0
+    #: Allocation-ordered (== address-ordered: the space is a bump allocator)
+    #: extent index for O(log n) reverse lookup.
+    _starts: list[int] = field(default_factory=list)
+    _owners: list[int] = field(default_factory=list)
 
     def allocate(self, tensor_id: int, size_bytes: int) -> VirtualRange:
         """Assign a virtual range to a tensor (idempotent per tensor)."""
@@ -68,6 +83,8 @@ class UnifiedAddressSpace:
         vrange = VirtualRange(self._next_start, size_bytes, self.page_size)
         self._ranges[tensor_id] = vrange
         self._next_start = vrange.end
+        self._starts.append(vrange.start)
+        self._owners.append(tensor_id)
         return vrange
 
     def range_of(self, tensor_id: int) -> VirtualRange:
@@ -77,11 +94,21 @@ class UnifiedAddressSpace:
             raise TranslationError(f"tensor {tensor_id} has no virtual mapping") from exc
 
     def tensor_at(self, vaddr: int) -> int:
-        """Reverse lookup: which tensor owns a virtual address."""
-        for tensor_id, vrange in self._ranges.items():
-            if vrange.contains(vaddr):
+        """Reverse lookup: which tensor owns a virtual address (binary search)."""
+        index = bisect_right(self._starts, vaddr) - 1
+        if index >= 0:
+            tensor_id = self._owners[index]
+            if self._ranges[tensor_id].contains(vaddr):
                 return tensor_id
         raise TranslationError(f"virtual address {vaddr:#x} is unmapped")
+
+    def extent_of(self, tensor_id: int) -> Extent:
+        """The virtual page run assigned to a tensor."""
+        return self.range_of(tensor_id).extent
+
+    def extents(self) -> list[tuple[int, Extent]]:
+        """Every (tensor_id, extent) pair in address order."""
+        return [(tid, self._ranges[tid].extent) for tid in self._owners]
 
     def __contains__(self, tensor_id: int) -> bool:
         return tensor_id in self._ranges

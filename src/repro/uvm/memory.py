@@ -1,34 +1,46 @@
-"""Byte/page accounted memory pools for GPU and host memory."""
+"""Byte/page accounted memory pools for GPU and host memory.
+
+The pool tracks residency at *extent* granularity: each resident tensor owns
+one (or, under fragmentation, a few) contiguous page runs assigned by a
+first-fit :class:`~repro.core.extents.ExtentAllocator`. Occupancy counters are
+maintained incrementally, so ``used_bytes``/``free_bytes``/``can_fit`` — the
+simulator's innermost admission checks — are O(1) instead of a sum over every
+resident tensor.
+"""
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
 
 from ..config import PAGE_SIZE
+from ..core.extents import Extent, ExtentAllocator
 from ..errors import AllocationError
 
 
-@dataclass
 class MemoryPool:
     """A capacity-limited memory pool tracking per-tensor residency.
 
     Allocation is accounted at page granularity (a tensor occupies whole
     pages), which is how the unified memory system manages every tensor.
+    Admission is purely byte-based — the extent allocator records *where* the
+    pages live and never rejects a fitting request (a fragmented pool spills a
+    tensor across multiple runs, like a real allocator would).
     """
 
-    name: str
-    capacity_bytes: int
-    page_size: int = PAGE_SIZE
-    _resident: dict[int, int] = field(default_factory=dict)
-    #: High-water mark of occupancy, for reporting.
-    peak_used_bytes: int = 0
-
-    def __post_init__(self) -> None:
-        if self.capacity_bytes < 0:
-            raise AllocationError(f"pool {self.name!r} cannot have negative capacity")
-        if self.page_size <= 0:
+    def __init__(self, name: str, capacity_bytes: int, page_size: int = PAGE_SIZE):
+        if capacity_bytes < 0:
+            raise AllocationError(f"pool {name!r} cannot have negative capacity")
+        if page_size <= 0:
             raise AllocationError("page size must be positive")
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self.page_size = page_size
+        self._resident: dict[int, int] = {}
+        self._extents: dict[int, tuple[Extent, ...]] = {}
+        self._allocator = ExtentAllocator()
+        self._used_bytes = 0
+        #: High-water mark of occupancy, for reporting.
+        self.peak_used_bytes = 0
 
     # -- accounting -------------------------------------------------------
 
@@ -37,11 +49,11 @@ class MemoryPool:
 
     @property
     def used_bytes(self) -> int:
-        return sum(self._resident.values())
+        return self._used_bytes
 
     @property
     def free_bytes(self) -> int:
-        return self.capacity_bytes - self.used_bytes
+        return self.capacity_bytes - self._used_bytes
 
     @property
     def num_resident(self) -> int:
@@ -59,6 +71,24 @@ class MemoryPool:
     def can_fit(self, size_bytes: int) -> bool:
         return self._page_bytes(size_bytes) <= self.free_bytes
 
+    # -- extent views -----------------------------------------------------
+
+    def extents_of(self, tensor_id: int) -> tuple[Extent, ...]:
+        """The physical page runs backing one resident tensor (empty if absent)."""
+        return self._extents.get(tensor_id, ())
+
+    @property
+    def num_extents(self) -> int:
+        """Total extents across resident tensors (== residents when unfragmented)."""
+        return sum(len(extents) for extents in self._extents.values())
+
+    def fragmentation(self) -> float:
+        """Fraction of resident tensors split across more than one run."""
+        if not self._extents:
+            return 0.0
+        split = sum(1 for extents in self._extents.values() if len(extents) > 1)
+        return split / len(self._extents)
+
     # -- mutation -----------------------------------------------------------
 
     def allocate(self, tensor_id: int, size_bytes: int) -> None:
@@ -72,11 +102,22 @@ class MemoryPool:
                 f"need {rounded} bytes, only {self.free_bytes} free"
             )
         self._resident[tensor_id] = rounded
-        self.peak_used_bytes = max(self.peak_used_bytes, self.used_bytes)
+        self._extents[tensor_id] = self._allocator.allocate(rounded // self.page_size)
+        self._used_bytes += rounded
+        if self._used_bytes > self.peak_used_bytes:
+            self.peak_used_bytes = self._used_bytes
+        return
 
     def free(self, tensor_id: int) -> int:
         """Release a tensor's space; returns the bytes freed (0 if absent)."""
-        return self._resident.pop(tensor_id, 0)
+        freed = self._resident.pop(tensor_id, 0)
+        if freed:
+            self._used_bytes -= freed
+            self._allocator.free(self._extents.pop(tensor_id))
+        return freed
 
     def clear(self) -> None:
         self._resident.clear()
+        self._extents.clear()
+        self._allocator = ExtentAllocator()
+        self._used_bytes = 0

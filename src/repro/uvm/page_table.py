@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
+from ..core.extents import Extent
 from ..errors import TranslationError
 from .address_space import UnifiedAddressSpace, VirtualRange
 
@@ -42,15 +43,19 @@ class PageTableEntry:
 class UnifiedPageTable:
     """Tracks the physical location of every tensor's pages.
 
-    For efficiency the table keeps one extent-level record per tensor (all of
-    a tensor's pages move together under G10's tensor-granularity migration),
-    while still exposing per-page translation for fault-path modelling.
+    The table keeps one extent-level record per tensor — all of a tensor's
+    pages are contiguous and move together under G10's tensor-granularity
+    migration — while still exposing per-page translation for fault-path
+    modelling. Per-location page totals are maintained incrementally, so
+    residency accounting is O(1) rather than a scan over every tensor.
     """
 
     address_space: UnifiedAddressSpace
     _locations: dict[int, MemoryLocation] = field(default_factory=dict)
     _physical_base: dict[int, int] = field(default_factory=dict)
     _next_physical: dict[MemoryLocation, int] = field(default_factory=dict)
+    #: Pages currently mapped per location (incrementally maintained).
+    _location_pages: dict[MemoryLocation, int] = field(default_factory=dict)
     #: Counters of PTE updates, exercised by GC remapping and migrations.
     pte_updates: int = 0
 
@@ -90,28 +95,50 @@ class UnifiedPageTable:
         """All tensors currently placed in one location."""
         return [tid for tid, loc in self._locations.items() if loc is location]
 
+    def resident_pages(self, location: MemoryLocation) -> int:
+        """Total pages currently mapped at one location (O(1))."""
+        return self._location_pages.get(location, 0)
+
+    def physical_extent(self, tensor_id: int) -> Extent:
+        """The contiguous physical page run backing one mapped tensor."""
+        location = self.location_of(tensor_id)
+        if location is MemoryLocation.UNMAPPED:
+            raise TranslationError(f"tensor {tensor_id} has no physical backing")
+        vrange = self.address_space.range_of(tensor_id)
+        return Extent(self._physical_base.get(tensor_id, 0), vrange.num_pages)
+
     # -- updates ---------------------------------------------------------------
 
     def place(self, tensor_id: int, location: MemoryLocation) -> int:
         """Move a tensor's pages to a new location, updating its PTEs.
 
-        Returns the number of PTEs updated (one per 4 KB page), which the
-        simulator uses to charge page-table maintenance costs.
+        The move is one extent-level operation; the return value is the number
+        of leaf PTEs the move covers (one per 4 KB page), which the simulator
+        uses to charge page-table maintenance costs.
         """
-        if tensor_id not in self._locations:
+        previous = self._locations.get(tensor_id)
+        if previous is None:
             raise TranslationError(f"tensor {tensor_id} is not registered")
         vrange = self.address_space.range_of(tensor_id)
+        if previous is not MemoryLocation.UNMAPPED:
+            self._location_pages[previous] -= vrange.num_pages
         self._locations[tensor_id] = location
         base = self._next_physical.get(location, 0)
         self._physical_base[tensor_id] = base
         self._next_physical[location] = base + vrange.num_pages
+        self._location_pages[location] = (
+            self._location_pages.get(location, 0) + vrange.num_pages
+        )
         self.pte_updates += vrange.num_pages
         return vrange.num_pages
 
     def unmap(self, tensor_id: int) -> None:
         """Drop the physical backing of a tensor (freed intermediate)."""
-        if tensor_id not in self._locations:
+        previous = self._locations.get(tensor_id)
+        if previous is None:
             raise TranslationError(f"tensor {tensor_id} is not registered")
+        if previous is not MemoryLocation.UNMAPPED:
+            self._location_pages[previous] -= self.address_space.range_of(tensor_id).num_pages
         self._locations[tensor_id] = MemoryLocation.UNMAPPED
 
     def remap_flash_pages(self, tensor_id: int, new_base: int) -> int:

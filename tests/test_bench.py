@@ -1,0 +1,122 @@
+"""The core-simulator benchmark harness and the ``repro bench`` CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    CORE_CELLS,
+    HEADLINE_CELL,
+    PRE_REFACTOR_SECONDS,
+    QUICK_TIERS,
+    bench_cells,
+    check_regressions,
+    run_bench,
+    time_cell,
+    write_bench,
+)
+from repro.cli import main
+
+
+class TestBenchEngine:
+    def test_quick_subset_keeps_only_smoke_tiers(self):
+        quick = bench_cells(quick=True)
+        assert quick and all(cell.tier in QUICK_TIERS for cell in quick)
+        assert len(bench_cells(quick=False)) == len(CORE_CELLS) > len(quick)
+
+    def test_every_cell_has_a_recorded_pre_refactor_baseline(self):
+        assert {cell.name for cell in CORE_CELLS} == set(PRE_REFACTOR_SECONDS)
+        assert HEADLINE_CELL in PRE_REFACTOR_SECONDS
+
+    def test_time_cell_records_timing_and_perf(self):
+        cell = next(c for c in CORE_CELLS if c.name == "bert@default/ci/g10")
+        record = time_cell(cell, repeats=1)
+        assert record["seconds"] > 0
+        assert len(record["samples"]) == 1
+        assert record["perf"]["kernels_executed"] > 0
+        assert record["pre_refactor_seconds"] == PRE_REFACTOR_SECONDS[cell.name]
+        assert record["speedup_vs_pre_refactor"] == pytest.approx(
+            record["pre_refactor_seconds"] / record["seconds"]
+        )
+        assert set(record["phase_seconds"]) == {"plan", "execute"}
+
+    def test_repeats_must_be_positive(self):
+        with pytest.raises(ValueError):
+            time_cell(CORE_CELLS[0], repeats=0)
+
+    def test_check_regressions_flags_only_slow_cells(self):
+        baseline = {"cells": {"a": {"seconds": 1.0}, "b": {"seconds": 1.0}}}
+        current = {"cells": {"a": {"seconds": 2.5}, "b": {"seconds": 1.1}, "new": {"seconds": 9.0}}}
+        messages = check_regressions(current, baseline, threshold=2.0)
+        assert len(messages) == 1 and messages[0].startswith("a:")
+        assert check_regressions(baseline, baseline) == []
+        with pytest.raises(ValueError):
+            check_regressions(current, baseline, threshold=1.0)
+
+    def test_cells_under_the_noise_floor_never_gate(self):
+        baseline = {"cells": {"tiny": {"seconds": 0.004}, "big": {"seconds": 1.0}}}
+        current = {"cells": {"tiny": {"seconds": 0.1}, "big": {"seconds": 5.0}}}
+        messages = check_regressions(current, baseline, threshold=2.0)
+        assert len(messages) == 1 and messages[0].startswith("big:")
+        # An explicit floor of 0 gates everything.
+        assert len(check_regressions(current, baseline, min_seconds=0.0)) == 2
+
+
+class TestBenchCli:
+    def test_quick_run_writes_artifact(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_core.json"
+        assert main(["bench", "--quick", "--repeats", "1", "--output", str(output)]) == 0
+        payload = json.loads(output.read_text(encoding="utf-8"))
+        assert payload["quick"] is True
+        assert set(payload["cells"]) == {cell.name for cell in bench_cells(quick=True)}
+        assert "pre_refactor_seconds" in payload
+        table = capsys.readouterr().out
+        assert "speedup" in table and "pages_moved" in table
+
+    def test_check_gate_fails_on_regression(self, tmp_path):
+        current = run_bench(quick=True, repeats=1)
+        healthy = tmp_path / "healthy.json"
+        write_bench(current, healthy)
+        # A baseline claiming every cell used to take exactly the gating
+        # floor: any real cell comfortably exceeds 1.01x of 50ms.
+        doctored = {
+            "cells": {
+                name: {**record, "seconds": 0.05}
+                for name, record in current["cells"].items()
+            }
+        }
+        regressed = tmp_path / "regressed.json"
+        regressed.write_text(json.dumps(doctored), encoding="utf-8")
+
+        output = tmp_path / "out.json"
+        assert main([
+            "bench", "--quick", "--repeats", "1",
+            "--output", str(output), "--check", str(healthy), "--threshold", "50",
+        ]) == 0
+        assert main([
+            "bench", "--quick", "--repeats", "1",
+            "--output", str(output), "--check", str(regressed), "--threshold", "1.01",
+        ]) == 1
+
+    def test_missing_baseline_is_a_configuration_error(self, tmp_path):
+        code = main([
+            "bench", "--quick", "--repeats", "1",
+            "--output", str(tmp_path / "o.json"),
+            "--check", str(tmp_path / "missing.json"),
+        ])
+        assert code == 2  # ReproError exit path
+
+
+def test_committed_bench_artifact_tracks_the_headline_cell():
+    """BENCH_core.json at the repo root is the recorded perf trajectory."""
+    from pathlib import Path
+
+    path = Path(__file__).resolve().parents[1] / "BENCH_core.json"
+    assert path.exists(), "BENCH_core.json must be committed at the repo root"
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    assert payload["headline"]["cell"] == HEADLINE_CELL
+    # The acceptance criterion of the extent refactor: >= 3x on the
+    # paper-scale batch-sweep cell, recorded for posterity.
+    assert payload["headline"]["speedup_vs_pre_refactor"] >= 3.0

@@ -1,0 +1,137 @@
+"""Queue drain ordering (slowest-first) and lease renewal heartbeats."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.experiments import (
+    LeaseHeartbeat,
+    ResultCache,
+    SweepCell,
+    WorkQueue,
+    estimate_cell_cost,
+    run_worker,
+)
+from repro.errors import ConfigurationError
+
+CELLS = (
+    SweepCell(model="vit", policy="base_uvm", scale="ci"),
+    SweepCell(model="bert", policy="g10", scale="ci"),
+    SweepCell(model="resnet152", policy="g10", scale="ci"),
+)
+
+
+class TestSlowestFirst:
+    def test_estimates_scale_with_workload(self):
+        costs = {cell.model: estimate_cell_cost(cell) for cell in CELLS}
+        assert all(cost > 0 for cost in costs.values())
+        # resnet152 has far more kernels than the 3-layer CI BERT.
+        assert costs["resnet152"] > costs["bert"]
+
+    def test_characterization_cells_are_cheaper(self):
+        sim = SweepCell(model="bert", policy="g10", scale="ci")
+        char = SweepCell(model="bert", policy=None, scale="ci")
+        assert estimate_cell_cost(char) < estimate_cell_cost(sim)
+
+    def test_lease_order_is_slowest_first(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")
+        queue.enqueue(CELLS, priority="slowest-first")
+        expected = sorted(
+            CELLS, key=lambda cell: (-estimate_cell_cost(cell), cell.cache_key())
+        )
+        drained = []
+        while (lease := queue.lease("order-test")) is not None:
+            drained.append(lease.cell().model)
+            queue.ack(lease)
+        assert drained == [cell.model for cell in expected]
+
+    def test_default_drain_stays_name_sorted(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")
+        queue.enqueue(CELLS)
+        expected = sorted(cell.cache_key() for cell in CELLS)
+        drained = []
+        while (lease := queue.lease("order-test")) is not None:
+            drained.append(lease.key)
+            queue.ack(lease)
+        assert drained == expected
+
+    def test_priorities_merge_and_survive_corruption(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")
+        queue.set_priorities({"aa": 1.0})
+        queue.set_priorities({"bb": 2.0})
+        assert queue._load_priorities() == {"aa": 1.0, "bb": 2.0}
+        queue._priority_path.write_text("not json", encoding="utf-8")
+        queue._priority_cache = None
+        assert queue._load_priorities() == {}  # degrades to name order
+
+    def test_unknown_priority_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            WorkQueue(tmp_path / "q").enqueue(CELLS, priority="fastest-first")
+
+    def test_cli_enqueue_records_priorities(self, tmp_path):
+        from repro.cli import main
+
+        code = main([
+            "queue", "enqueue", "--scale", "ci", "--figures", "2",
+            "--queue-dir", str(tmp_path / "q"), "--no-cache",
+            "--priority", "slowest-first",
+        ])
+        assert code == 0
+        queue = WorkQueue(tmp_path / "q")
+        assert queue._priority_path.exists()
+        assert queue._load_priorities()
+
+
+class TestLeaseHeartbeat:
+    def _queue_with_task(self, tmp_path, lease_timeout: float) -> WorkQueue:
+        queue = WorkQueue(tmp_path / "q", lease_timeout=lease_timeout)
+        queue.enqueue_tasks([("ab12", {"cell": None})])
+        return queue
+
+    def test_heartbeat_extends_the_deadline(self, tmp_path):
+        queue = self._queue_with_task(tmp_path, lease_timeout=0.2)
+        lease = queue.lease("beater")
+        original_deadline = lease.deadline
+        with LeaseHeartbeat(queue, lease, interval=0.02) as heartbeat:
+            time.sleep(0.15)
+        renewed = heartbeat.lease
+        assert renewed.deadline > original_deadline
+        # The original deadline passing no longer reclaims the task.
+        assert queue.requeue_stale(now=original_deadline + 0.01) == []
+        assert queue.ack(renewed)
+        assert any(e["event"] == "renew" for e in queue.events())
+
+    def test_heartbeat_stops_after_reclaim(self, tmp_path):
+        queue = self._queue_with_task(tmp_path, lease_timeout=0.2)
+        lease = queue.lease("slowpoke")
+        with LeaseHeartbeat(queue, lease, interval=0.02) as heartbeat:
+            # An operator force-reclaims the lease while the holder computes.
+            assert queue.requeue_stale(now=time.time() + 60.0) == ["ab12"]
+            time.sleep(0.1)
+        # The holder's ack still reconciles: the task completes exactly once.
+        assert queue.ack(heartbeat.lease)
+        assert queue.status()["done"] == 1
+
+    def test_run_worker_renews_during_long_cells(self, tmp_path, monkeypatch):
+        import repro.experiments.queue as queue_mod
+
+        queue = WorkQueue(tmp_path / "q", lease_timeout=0.2)
+        cell = SweepCell(model="bert", policy="base_uvm", scale="ci")
+        queue.enqueue([cell])
+
+        def slow_execute(_cell):
+            time.sleep(0.5)  # far beyond the lease timeout
+            return {"kind": "simulation", "workload": {}, "result": {}}
+
+        monkeypatch.setattr(queue_mod, "execute_cell", slow_execute)
+        executed = run_worker(queue, ResultCache(tmp_path / "cache"), worker_id="hb")
+        assert executed == 1
+        status = queue.status()
+        assert status["done"] == 1 and status["failed"] == 0
+        events = queue.events()
+        # The cell outlived its lease timeout, so the heartbeat must have
+        # renewed at least once and the lease was never reclaimed.
+        assert sum(1 for e in events if e["event"] == "renew") >= 1
+        assert not any(e["event"] == "requeue" for e in events)

@@ -182,9 +182,15 @@ class TestReportFromWarmCache:
         assert "**12 served warm**" in report_md and "**0 recomputed**" in report_md
         assert "recomputed |" in report_md  # summary column present
         manifest_json = json.loads((out_dir / "report.json").read_text(encoding="utf-8"))
+        perf_totals = manifest_json["totals"].pop("perf")
         assert manifest_json["totals"] == {
             "cells": 12, "distinct": 12, "warm": 12, "recomputed": 0,
         }
+        # Characterization-only figures do no simulation work.
+        assert set(perf_totals) == {
+            "events_processed", "pages_moved", "fault_events", "eviction_stalls",
+        }
+        assert all(value == 0 for value in perf_totals.values())
         for fid in self.FIGURES:
             assert (out_dir / f"figure{fid}.json").exists()
 
