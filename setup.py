@@ -20,6 +20,8 @@ setup(
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),
+    # PEP 561 marker: downstream type-checkers consume the inline annotations.
+    package_data={"repro": ["py.typed"]},
     python_requires=">=3.10",
     install_requires=["numpy>=1.24"],
 )

@@ -1,0 +1,543 @@
+"""The built-in ``repro lint`` rules.
+
+Each rule encodes one invariant the repository's correctness story already
+depends on informally:
+
+* **DET001–DET004** protect the bit-for-bit golden files: the deterministic
+  layers (``sim/``, ``core/``, ``uvm/``, ``ssd/``, ``graph/``,
+  ``baselines/``) must be pure functions of the workload and configuration —
+  no wall clocks, no entropy, no object identities, no unordered iteration,
+  no approximate float equality.
+* **QUE001** protects the work queue's crash-safety proof: task/lease state
+  may only become visible through the atomic rename/exclusive-link idioms the
+  SIGKILL fault suite assumes.
+* **API001** keeps the deprecation story honest: internal code must use the
+  modern API, never the ``_compat`` shims kept for external callers.
+
+Rules self-register into :data:`~repro.analysis.lint.framework.LINT_REGISTRY`
+when this module is imported (it is the registry's bootstrap module).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Mapping
+
+from .framework import (
+    DETERMINISTIC_LAYERS,
+    LintRule,
+    ModuleSource,
+    register_rule,
+)
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Local name -> imported dotted path, for resolving call targets.
+
+    ``import time as _time`` maps ``_time`` to ``time``; ``from time import
+    perf_counter as pc`` maps ``pc`` to ``time.perf_counter``; a bare
+    ``import numpy.random`` maps ``numpy`` to ``numpy``. Relative imports are
+    kept with their leading dots (``from ._compat import x`` maps ``x`` to
+    ``._compat.x``).
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                if name.asname:
+                    aliases[name.asname] = name.name
+                else:
+                    root = name.name.split(".")[0]
+                    aliases[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            module = "." * node.level + (node.module or "")
+            for name in node.names:
+                if name.name == "*":
+                    continue
+                bound = name.asname or name.name
+                aliases[bound] = f"{module}.{name.name}" if module else name.name
+    return aliases
+
+
+def dotted_name(node: ast.expr, aliases: Mapping[str, str]) -> str | None:
+    """The resolved dotted path of a Name/Attribute chain, or ``None``.
+
+    ``_time.perf_counter`` under ``import time as _time`` resolves to
+    ``"time.perf_counter"``.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    base = aliases.get(node.id, node.id)
+    parts.append(base)
+    return ".".join(reversed(parts))
+
+
+@register_rule(
+    "DET001",
+    title="no wall clock or entropy in the deterministic layers",
+    rationale="golden files are bit-for-bit; any clock/entropy read breaks them",
+)
+class NoEntropyRule(LintRule):
+    """Bans wall-clock and entropy reads inside the deterministic layers.
+
+    The simulated clock is the only clock those layers may consult. The one
+    sanctioned exception is the :class:`~repro.sim.results.PerfCounters`
+    wall-time phase instrumentation in ``sim/executor.py`` (its readings are
+    deliberately excluded from serialized results), captured in
+    :attr:`ALLOWLIST`.
+    """
+
+    code = "DET001"
+    title = "no wall clock or entropy in the deterministic layers"
+    rationale = "golden files are bit-for-bit; any clock/entropy read breaks them"
+
+    BANNED = frozenset(
+        {
+            "time.time",
+            "time.time_ns",
+            "time.monotonic",
+            "time.monotonic_ns",
+            "time.perf_counter",
+            "time.perf_counter_ns",
+            "time.process_time",
+            "time.process_time_ns",
+            "datetime.datetime.now",
+            "datetime.datetime.utcnow",
+            "datetime.datetime.today",
+            "datetime.date.today",
+            "datetime.now",
+            "datetime.utcnow",
+            "datetime.today",
+            "date.today",
+            "os.urandom",
+            "os.getrandom",
+            "uuid.uuid1",
+            "uuid.uuid4",
+        }
+    )
+
+    #: Module-level functions of the process-global ``random`` RNG. Policies
+    #: needing noise must take a seeded ``random.Random`` (or numpy
+    #: ``Generator``) instance from their configuration instead.
+    RANDOM_FUNCS = frozenset(
+        {
+            "betavariate", "choice", "choices", "expovariate", "gauss",
+            "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+            "randbytes", "randint", "random", "randrange", "sample", "seed",
+            "shuffle", "triangular", "uniform", "vonmisesvariate",
+            "weibullvariate",
+        }
+    )
+
+    #: package path -> dotted calls sanctioned there (the PerfCounters
+    #: wall-time phases; their readings never reach serialized results).
+    ALLOWLIST: Mapping[str, frozenset[str]] = {
+        "sim/executor.py": frozenset({"time.perf_counter"}),
+    }
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        return module.in_layers(DETERMINISTIC_LAYERS)
+
+    def begin(self, module: ModuleSource) -> None:
+        self._aliases = import_aliases(module.tree)
+        self._allowed = self.ALLOWLIST.get(module.package_path, frozenset())
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func, self._aliases)
+        if name is not None and name not in self._allowed:
+            offence = None
+            if name in self.BANNED:
+                offence = name
+            elif name.startswith("random.") and name.split(".", 1)[1] in self.RANDOM_FUNCS:
+                offence = name
+            elif name.startswith("numpy.random.") or name.startswith("np.random."):
+                offence = name
+            if offence is not None:
+                self.report(
+                    node,
+                    f"call to {offence}() in a deterministic layer; the simulated "
+                    "clock and seeded generators are the only allowed sources",
+                )
+        self.generic_visit(node)
+
+
+def _is_id_call(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "id"
+        and len(node.args) == 1
+    )
+
+
+@register_rule(
+    "DET002",
+    title="no id(...) used as a dict or memo key",
+    rationale="CPython addresses vary run to run; id-keyed memos break caching and replay",
+)
+class NoIdKeyRule(LintRule):
+    """Bans ``id(...)`` in key positions (the exact bug PR 1 fixed in
+    ``build_workload``: an ``id(config)``-keyed memo made cache keys depend on
+    allocator addresses)."""
+
+    code = "DET002"
+    title = "no id(...) used as a dict or memo key"
+    rationale = "CPython addresses vary run to run; id-keyed memos break caching and replay"
+
+    MESSAGE = (
+        "id(...) used as a key; key on a value hash or the object itself "
+        "(identity hashing without the address leaking into results)"
+    )
+
+    def visit_Dict(self, node: ast.Dict) -> None:
+        for key in node.keys:
+            if key is not None and _is_id_call(key):
+                self.report(key, self.MESSAGE)
+        self.generic_visit(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        if _is_id_call(node.key):
+            self.report(node.key, self.MESSAGE)
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if _is_id_call(node.slice):
+            self.report(node.slice, self.MESSAGE)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("get", "setdefault", "pop")
+            and node.args
+            and _is_id_call(node.args[0])
+        ):
+            self.report(node.args[0], self.MESSAGE)
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if _is_id_call(node.left) and any(
+            isinstance(op, (ast.In, ast.NotIn)) for op in node.ops
+        ):
+            self.report(node.left, self.MESSAGE)
+        self.generic_visit(node)
+
+
+@register_rule(
+    "DET003",
+    title="no ordered iteration over bare set values",
+    rationale="set order varies with hash seeding/history; results and schedules must not inherit it",
+)
+class NoSetIterationRule(LintRule):
+    """Flags order-sensitive iteration over values statically known to be sets.
+
+    Inside the deterministic layers, a ``for`` loop, list/dict comprehension,
+    generator expression or ``list()/tuple()/enumerate()/iter()/map()/
+    filter()/join()`` over a bare set leaks the set's arbitrary order into
+    whatever gets built from it. The compliant idiom is ``sorted(...)`` (or an
+    ordered container to begin with). Set comprehensions over sets stay
+    order-insensitive and are allowed, as are ``len``/``min``/``max``/``sum``/
+    ``any``/``all`` and membership tests.
+
+    Detection is intraprocedural: set literals, ``set()``/``frozenset()``
+    calls, set comprehensions, unions of those, and local names last assigned
+    from one.
+    """
+
+    code = "DET003"
+    title = "no ordered iteration over bare set values"
+    rationale = (
+        "set order varies with hash seeding/history; results and schedules "
+        "must not inherit it"
+    )
+
+    ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "enumerate", "iter"})
+    ORDER_SENSITIVE_SECOND_ARG = frozenset({"map", "filter"})
+    SET_METHODS = frozenset(
+        {"union", "intersection", "difference", "symmetric_difference", "copy"}
+    )
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        return module.in_layers(DETERMINISTIC_LAYERS)
+
+    def begin(self, module: ModuleSource) -> None:
+        self._scopes: list[set[str]] = [set()]
+
+    # -- set-ness inference ---------------------------------------------------
+
+    def _is_setish(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return any(node.id in scope for scope in self._scopes)
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id in ("set", "frozenset"):
+                return True
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in self.SET_METHODS
+                and self._is_setish(node.func.value)
+            ):
+                return True
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self._is_setish(node.left) and self._is_setish(node.right)
+        return False
+
+    def _bind(self, target: ast.expr, setish: bool) -> None:
+        if isinstance(target, ast.Name):
+            if setish:
+                self._scopes[-1].add(target.id)
+            else:
+                self._scopes[-1].discard(target.id)
+
+    # -- scope tracking -------------------------------------------------------
+
+    def _visit_function(self, node: ast.AST) -> None:
+        self._scopes.append(set())
+        self.generic_visit(node)
+        self._scopes.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.generic_visit(node)
+        setish = self._is_setish(node.value)
+        for target in node.targets:
+            self._bind(target, setish)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self.generic_visit(node)
+        if node.value is not None:
+            self._bind(node.target, self._is_setish(node.value))
+
+    # -- order-sensitive sinks ------------------------------------------------
+
+    def _check_iter(self, node: ast.expr) -> None:
+        if self._is_setish(node):
+            self.report(
+                node,
+                "iteration over a bare set leaks arbitrary ordering; wrap it "
+                "in sorted(...) or use an ordered container",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def _visit_ordered_comp(self, node: ast.AST) -> None:
+        for generator in node.generators:
+            self._check_iter(generator.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_ordered_comp
+    visit_GeneratorExp = _visit_ordered_comp
+    visit_DictComp = _visit_ordered_comp
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and node.args:
+            if func.id in self.ORDER_SENSITIVE_CALLS:
+                self._check_iter(node.args[0])
+            elif func.id in self.ORDER_SENSITIVE_SECOND_ARG and len(node.args) >= 2:
+                self._check_iter(node.args[1])
+        elif isinstance(func, ast.Attribute) and func.attr == "join" and node.args:
+            self._check_iter(node.args[0])
+        self.generic_visit(node)
+
+
+@register_rule(
+    "DET004",
+    title="no float equality in core/sim outside annotated sentinels",
+    rationale="float == is usually a tolerance bug; exact-float sentinels must be named and annotated",
+)
+class NoFloatEqualityRule(LintRule):
+    """Flags ``==``/``!=`` against float literals in ``core/`` and ``sim/``.
+
+    Exact float comparison is almost always a latent tolerance bug in planner
+    arithmetic. Where exactness is the *point* — e.g. the path-compressed
+    skip index in ``core/bandwidth.py``, where an exhausted slot holds exactly
+    ``0.0`` — the sentinel must be a named module-level constant annotated
+    with ``# repro-lint: exact-float`` on its assignment; comparisons against
+    annotated sentinels are allowed.
+    """
+
+    code = "DET004"
+    title = "no float equality in core/sim outside annotated sentinels"
+    rationale = (
+        "float == is usually a tolerance bug; exact-float sentinels must be "
+        "named and annotated"
+    )
+
+    LAYERS = ("core/", "sim/")
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        return module.in_layers(self.LAYERS)
+
+    def begin(self, module: ModuleSource) -> None:
+        self._sentinels: set[str] = set()
+        self._unannotated_consts: set[str] = set()
+        for node in module.tree.body:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                target, value = node.target, node.value
+            else:
+                continue
+            if isinstance(target, ast.Name) and _is_float_literal(value):
+                if module.annotated(node.lineno, "exact-float"):
+                    self._sentinels.add(target.id)
+                else:
+                    self._unannotated_consts.add(target.id)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for index, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for side in (operands[index], operands[index + 1]):
+                if _is_float_literal(side):
+                    self.report(
+                        side,
+                        "exact float comparison; use a tolerance, or compare "
+                        "against a named sentinel annotated "
+                        "'# repro-lint: exact-float'",
+                    )
+                elif isinstance(side, ast.Name) and side.id in self._unannotated_consts:
+                    self.report(
+                        side,
+                        f"float constant {side.id} compared exactly; annotate "
+                        "its assignment with '# repro-lint: exact-float' if "
+                        "exactness is intended",
+                    )
+        self.generic_visit(node)
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+@register_rule(
+    "QUE001",
+    title="queue state may only be published atomically",
+    rationale="the SIGKILL fault suite's crash-safety proof assumes rename/exclusive-link publication",
+)
+class AtomicQueuePublishRule(LintRule):
+    """Restricts how ``experiments/queue.py`` writes files.
+
+    Task and lease state must be written to a temporary name and published
+    with ``os.replace``/``os.rename``/``os.link`` — a bare write into a live
+    state directory can be observed half-written by a competing consumer, or
+    survive a SIGKILL as garbage. The rule flags every write-capable ``open``
+    and every ``write_text``/``write_bytes`` whose target expression does not
+    mention a temporary (``tmp``) path. Genuinely append-only artifacts (the
+    events audit log) carry an inline suppression with justification.
+    """
+
+    code = "QUE001"
+    title = "queue state may only be published atomically"
+    rationale = (
+        "the SIGKILL fault suite's crash-safety proof assumes "
+        "rename/exclusive-link publication"
+    )
+
+    WRITE_MODES = ("w", "a", "x", "+")
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        return module.package_path.endswith("experiments/queue.py")
+
+    @staticmethod
+    def _mode_of(node: ast.Call, position: int) -> str:
+        for keyword in node.keywords:
+            if keyword.arg == "mode" and isinstance(keyword.value, ast.Constant):
+                return str(keyword.value.value)
+        if len(node.args) > position and isinstance(node.args[position], ast.Constant):
+            return str(node.args[position].value)
+        return "r"
+
+    @staticmethod
+    def _mentions_tmp(node: ast.expr) -> bool:
+        return "tmp" in ast.unparse(node).lower()
+
+    def _flag(self, node: ast.AST, what: str) -> None:
+        self.report(
+            node,
+            f"{what} publishes into live queue state; write to a *.tmp name "
+            "and publish with os.replace()/os.link() (see the lease/task "
+            "idioms in this module)",
+        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "open" and node.args:
+            if any(ch in self._mode_of(node, 1) for ch in self.WRITE_MODES):
+                if not self._mentions_tmp(node.args[0]):
+                    self._flag(node, "write-mode open()")
+        elif isinstance(func, ast.Attribute):
+            if func.attr == "open":
+                if any(ch in self._mode_of(node, 0) for ch in self.WRITE_MODES):
+                    if not self._mentions_tmp(func.value):
+                        self._flag(node, "write-mode .open()")
+            elif func.attr in ("write_text", "write_bytes"):
+                if not self._mentions_tmp(func.value):
+                    self._flag(node, f".{func.attr}()")
+        self.generic_visit(node)
+
+
+@register_rule(
+    "API001",
+    title="no internal imports of the _compat deprecation shims",
+    rationale="shims exist for external callers; internal use hides the modern API and defeats the deprecation",
+)
+class NoCompatImportRule(LintRule):
+    """Bans ``repro._compat`` imports inside the package.
+
+    The shims re-exported from ``repro/__init__.py`` keep external callers
+    working through a deprecation cycle; internal code importing them would
+    never see the warnings fire and would silently freeze the legacy
+    surface. Only the package root (which must re-export them) and
+    ``_compat.py`` itself are exempt.
+    """
+
+    code = "API001"
+    title = "no internal imports of the _compat deprecation shims"
+    rationale = (
+        "shims exist for external callers; internal use hides the modern API "
+        "and defeats the deprecation"
+    )
+
+    EXEMPT = ("__init__.py", "_compat.py")
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        return module.package_path not in self.EXEMPT
+
+    MESSAGE = (
+        "internal import of the _compat deprecation shims; call the modern "
+        "Scenario/registry API directly"
+    )
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        if module == "_compat" or module.endswith("._compat") or module.endswith(".repro._compat"):
+            self.report(node, self.MESSAGE)
+        elif node.level > 0 and module == "" and any(
+            name.name == "_compat" for name in node.names
+        ):
+            self.report(node, self.MESSAGE)
+        self.generic_visit(node)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        if any(
+            name.name == "_compat" or name.name.endswith("._compat")
+            for name in node.names
+        ):
+            self.report(node, self.MESSAGE)
+        self.generic_visit(node)

@@ -56,6 +56,7 @@ from .errors import ConfigurationError
 from .registry import MODEL_REGISTRY, POLICY_REGISTRY
 from .sim import SimulationResult
 from .sim.observer import SimObserver
+from .sim.policy import MigrationPolicy
 from .experiments.harness import (
     Workload,
     build_workload,
@@ -284,7 +285,7 @@ class Session:
         """The sweep cell equivalent of this session (see :meth:`Scenario.cell`)."""
         return self._scenario.cell()
 
-    def policy(self):
+    def policy(self) -> "MigrationPolicy":
         """A fresh instance of the scenario's policy."""
         return POLICY_REGISTRY.create(self._scenario.policy)
 

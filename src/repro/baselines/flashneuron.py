@@ -15,7 +15,7 @@ failed :class:`~repro.sim.results.SimulationResult`.
 from __future__ import annotations
 
 from ..core.pressure import MemoryPressureTimeline, period_slot_indices
-from ..graph.kernel import Kernel, KernelPhase
+from ..graph.kernel import Kernel
 from ..registry import register_policy
 from ..sim.policy import MigrationDecision, MigrationPolicy, PolicyContext
 from ..uvm.page_table import MemoryLocation

@@ -12,6 +12,10 @@ Subcommands:
 * ``bench``  — time the simulation core on representative cells and write
   ``BENCH_core.json`` (the repo's recorded perf trajectory); ``--check``
   gates CI against >2x regressions of the committed baseline;
+* ``lint``   — run the project's AST-based static analyzer (determinism and
+  queue-atomicity rules, DET001.. QUE001/API001) over source trees; findings
+  not in the committed baseline fail the run (``--update-baseline`` refreshes
+  it, ``--list-rules`` documents every rule);
 * ``cache``  — inspect, clear, or merge on-disk result caches;
 * ``queue``  — drive the file-backed distributed work queue: ``enqueue`` the
   report grid, ``work`` as a competing consumer, ``status`` the task states,
@@ -365,6 +369,83 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Baseline consulted by ``repro lint`` when ``--baseline`` is not given.
+DEFAULT_LINT_BASELINE = "lint-baseline.json"
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis.lint import LINT_REGISTRY, Baseline, lint_paths
+
+    if args.list_rules:
+        rows = []
+        for info in LINT_REGISTRY.describe_all():
+            rows.append(
+                {
+                    "code": info["name"].upper(),
+                    "title": info.get("title", ""),
+                    "rationale": info.get("rationale", ""),
+                }
+            )
+        print(format_table(rows))
+        return 0
+
+    paths = args.paths
+    if not paths:
+        default = os.path.join("src", "repro")
+        if os.path.isdir(default):
+            paths = [default]
+        else:  # installed package: lint the importable sources
+            paths = [os.path.dirname(os.path.abspath(__file__))]
+
+    findings = lint_paths(
+        paths,
+        select=_csv(args.rule) if args.rule else None,
+        ignore=_csv(args.ignore) if args.ignore else None,
+    )
+
+    baseline_path = args.baseline
+    if baseline_path is None and os.path.exists(DEFAULT_LINT_BASELINE):
+        baseline_path = DEFAULT_LINT_BASELINE
+    if args.update_baseline:
+        target = baseline_path or DEFAULT_LINT_BASELINE
+        Baseline.from_findings(findings).write(target)
+        print(f"wrote {len(findings)} finding(s) to {target}", file=sys.stderr)
+        return 0
+    baseline = Baseline.load(baseline_path)
+    new, baselined, stale = baseline.partition(findings)
+
+    if args.format == "json":
+        json.dump(
+            {
+                "findings": [f.to_dict() for f in new],
+                "baselined": [f.to_dict() for f in baselined],
+                "summary": {
+                    "checked_paths": [str(p) for p in paths],
+                    "new": len(new),
+                    "baselined": len(baselined),
+                    "stale_baseline_entries": stale,
+                },
+            },
+            sys.stdout,
+            indent=2,
+            sort_keys=True,
+        )
+        print()
+    else:
+        for finding in new:
+            print(finding.render())
+        summary = f"repro lint: {len(new)} finding(s)"
+        if baselined:
+            summary += f", {len(baselined)} baselined"
+        if stale:
+            summary += (
+                f", {stale} stale baseline entrie(s) — fixed findings still "
+                f"grandfathered; re-run with --update-baseline"
+            )
+        print(summary, file=sys.stderr)
+    return 1 if new else 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     if args.action != "merge" and args.sources:
         raise ConfigurationError(
@@ -611,6 +692,26 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--threshold", type=float, default=2.0, metavar="X",
                        help="regression gate for --check (default: 2.0x)")
     bench.set_defaults(func=_cmd_bench)
+
+    lint = sub.add_parser(
+        "lint", help="run the determinism/atomicity static analyzer over source trees"
+    )
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files or directories to lint (default: src/repro)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="finding output format (default: text)")
+    lint.add_argument("--rule", default=None, metavar="CODES",
+                      help="comma-separated rule codes to run (default: all)")
+    lint.add_argument("--ignore", default=None, metavar="CODES",
+                      help="comma-separated rule codes to skip")
+    lint.add_argument("--baseline", default=None, metavar="FILE",
+                      help="grandfather file for pre-existing findings "
+                           f"(default: {DEFAULT_LINT_BASELINE} when present)")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="write the current findings to the baseline and exit 0")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="describe every registered rule and exit")
+    lint.set_defaults(func=_cmd_lint)
 
     cache = sub.add_parser("cache", help="inspect, clear, or merge result caches")
     cache.add_argument("action", choices=("info", "clear", "path", "merge"))

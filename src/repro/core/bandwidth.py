@@ -34,6 +34,13 @@ import numpy as np
 from ..config import SystemConfig
 from ..errors import SchedulingError
 
+#: Remaining capacity of a slot whose budget is fully consumed. The skip
+#: index relies on this comparison being *exact*: `reserve` subtracts the
+#: precise remaining availability, so an exhausted slot holds IEEE-754 zero
+#: (not merely a small number), stays exhausted forever, and contributes
+#: exactly 0.0 bytes to any probe that skips it.
+EXHAUSTED_SLOT = 0.0  # repro-lint: exact-float
+
 
 class Direction(Enum):
     """Transfer direction relative to the GPU."""
@@ -159,7 +166,7 @@ class ChannelSchedule:
                 continue
             exhausted = False
             for values in lists:
-                if values[j] == 0.0:
+                if values[j] == EXHAUSTED_SLOT:
                     exhausted = True
                     break
             if not exhausted:
@@ -184,7 +191,7 @@ class ChannelSchedule:
                 continue
             exhausted = False
             for values in lists:
-                if values[j] == 0.0:
+                if values[j] == EXHAUSTED_SLOT:
                     exhausted = True
                     break
             if not exhausted:

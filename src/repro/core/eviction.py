@@ -26,7 +26,7 @@ from ..config import SystemConfig
 from ..errors import SchedulingError
 from .bandwidth import ChannelSchedule, Direction
 from .plan import MigrationDestination, MigrationPlan, PlannedEviction, PlannedPrefetch
-from .pressure import MemoryPressureTimeline, period_slot_indices
+from .pressure import MemoryPressureTimeline
 from .vitality import InactivePeriod, VitalityReport
 
 

@@ -32,11 +32,14 @@ class SmartPrefetcher:
         """
         num_slots = plan.num_slots or self._pressure.num_slots
         ordered = sorted(plan.prefetches, key=lambda p: p.latest_safe_slot)
-        evictions_by_period = {id(e.period): e for e in plan.evictions}
+        # Keyed on the period *value* (InactivePeriod is a frozen dataclass,
+        # unique per (tensor, gap) within a plan) — an id()-keyed memo would
+        # tie the lookup to allocator addresses.
+        evictions_by_period = {e.period: e for e in plan.evictions}
 
         optimized: list[PlannedPrefetch] = []
         for prefetch in ordered:
-            eviction = evictions_by_period.get(id(prefetch.period))
+            eviction = evictions_by_period.get(prefetch.period)
             earliest_allowed = 0
             if eviction is not None:
                 earliest_allowed = eviction.expected_completion_slot + 1

@@ -20,7 +20,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import SchedulingError
-from ..graph.kernel import KernelPhase
 from ..graph.tensor import TensorInfo
 from ..graph.training import TrainingGraph
 

@@ -45,3 +45,7 @@ class SSDError(ReproError):
 
 class QueueError(ReproError):
     """The distributed work queue reached an inconsistent or failed state."""
+
+
+class LintError(ReproError):
+    """The static analyzer was misconfigured (unknown rule, bad baseline)."""

@@ -185,15 +185,20 @@ class WorkQueue:
         except FileNotFoundError:
             return []
 
-    def _log(self, event: str, **fields) -> None:
+    def _log(self, event: str, **fields: object) -> None:
         self.root.mkdir(parents=True, exist_ok=True)
         line = json.dumps(
             {"ts": round(self._clock(), 6), "pid": os.getpid(), "event": event, **fields},
             sort_keys=True,
         )
         # O_APPEND writes of one short line are atomic on POSIX, so competing
-        # consumers can share the log without interleaving records.
-        with (self.root / "events.jsonl").open("a", encoding="utf-8") as fh:
+        # consumers can share the log without interleaving records. The audit
+        # log is append-only history, not task/lease state: no consumer ever
+        # reads it to decide a transition, so atomic-rename publication
+        # (QUE001) deliberately does not apply.
+        with (self.root / "events.jsonl").open(  # repro-lint: disable=QUE001 -- append-only audit log, not queue state
+            "a", encoding="utf-8"
+        ) as fh:
             fh.write(line + "\n")
 
     def events(self) -> list[dict]:
@@ -622,7 +627,7 @@ class LeaseHeartbeat:
         self._thread.start()
         return self
 
-    def __exit__(self, *_exc) -> None:
+    def __exit__(self, *_exc: object) -> None:
         self._stop.set()
         self._thread.join()
 

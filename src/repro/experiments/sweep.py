@@ -32,7 +32,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from itertools import product
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
@@ -43,6 +43,9 @@ from ..registry import load_plugins
 from ..sim import SimulationResult
 from .cache import CACHE_SCHEMA_VERSION, ResultCache
 from .harness import build_workload, canonicalize_cell_fields, default_config
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api import Scenario
 
 
 @dataclass(frozen=True)
@@ -118,7 +121,7 @@ class SweepCell:
         """The exact system configuration this cell simulates."""
         return self.patch.apply(default_config(self.model, self.scale))
 
-    def scenario(self):
+    def scenario(self) -> "Scenario":
         """This cell as a :class:`~repro.api.Scenario` (simulation cells only)."""
         from ..api import Scenario
 

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from ..errors import GraphError
 from .dataflow import DataflowGraph
 from .kernel import Kernel, KernelPhase, KernelTrace
-from .operator import Operator, OpType
+from .operator import Operator
 from .tensor import TensorInfo, TensorKind, TensorSet
 
 #: Backward FLOPs relative to forward FLOPs for weighted operators

@@ -130,7 +130,7 @@ class Registry:
         aliases: tuple[str, ...] | list[str] = (),
         replace: bool = False,
         **metadata: Any,
-    ):
+    ) -> Callable[..., Any]:
         """Register ``obj`` under ``name``; usable as a decorator.
 
         ``@registry.register("name", aliases=("other",), display="Name")``
@@ -319,7 +319,7 @@ def register_experiment(
     supports_models: bool = False,
     aliases: tuple[str, ...] | list[str] = (),
     replace: bool = False,
-):
+) -> Any:
     """Register an experiment (a renderer plus optional sweep-spec builder).
 
     Two forms are accepted::

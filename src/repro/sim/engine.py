@@ -24,6 +24,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.vitality import VitalityReport
     from ..graph.training import TrainingGraph
     from .observer import SimObserver
+    from .policy import MigrationPolicy
     from .results import SimulationResult
 
 @dataclass(order=True)
@@ -97,7 +98,7 @@ class EventQueue:
 def simulate(
     graph: "TrainingGraph",
     config: "SystemConfig",
-    policy,
+    policy: "MigrationPolicy",
     report: "VitalityReport | None" = None,
     observers: "Sequence[SimObserver]" = (),
 ) -> "SimulationResult":

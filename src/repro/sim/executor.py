@@ -29,7 +29,7 @@ from ..uvm.migration import MigrationEngine, MigrationKind, MigrationRequest
 from ..uvm.page_table import MemoryLocation, UnifiedPageTable
 from .engine import EventQueue
 from .observer import SimObserver
-from .policy import MigrationDecision, MigrationPolicy, PolicyContext
+from .policy import MigrationPolicy, PolicyContext
 from .results import KernelTiming, PerfCounters, SimulationResult
 
 #: Effectively unlimited capacity used by the Ideal policy's GPU pool.

@@ -4,16 +4,12 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
 
 from ..config import SystemConfig
 from ..core.vitality import VitalityReport
 from ..graph.kernel import Kernel
 from ..graph.training import TrainingGraph
 from ..uvm.page_table import MemoryLocation
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from .executor import ExecutionSimulator
 
 
 @dataclass(frozen=True)

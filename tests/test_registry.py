@@ -123,6 +123,36 @@ class TestGenericRegistry:
         assert "gamma_ray" in message and "delta" in message
         assert "did you mean 'gamma_ray'" in message
 
+    def test_suggestion_from_misspelled_alias_resolves_to_canonical(self):
+        registry = Registry("thing")
+        registry.register("gamma_ray", lambda: 1, aliases=("gray",))
+        with pytest.raises(ConfigurationError, match="did you mean 'gamma_ray'"):
+            registry.get("grey")  # close to the alias, reported as its owner
+
+    def test_unknown_name_without_near_miss_omits_suggestion(self):
+        registry = Registry("thing")
+        registry.register("gamma_ray", lambda: 1)
+        with pytest.raises(ConfigurationError) as excinfo:
+            registry.get("zzzzzz")
+        assert "did you mean" not in str(excinfo.value)
+
+    def test_alias_duplicating_canonical_name_rejected(self):
+        registry = Registry("thing")
+        registry.register("alpha", lambda: 1)
+        with pytest.raises(ConfigurationError, match="collides"):
+            registry.register("beta", lambda: 2, aliases=("alpha",))
+
+    def test_self_alias_is_harmless(self):
+        registry = Registry("thing")
+        registry.register("alpha", lambda: 1, aliases=("Alpha",))
+        assert registry.create("alpha") == 1
+        assert registry.aliases() == {}  # normalizes to the canonical key itself
+
+    def test_empty_name_rejected(self):
+        registry = Registry("thing")
+        with pytest.raises(ConfigurationError, match="cannot be empty"):
+            registry.register("  - ", lambda: 1)
+
     def test_unregister_removes_entry_and_aliases(self):
         registry = Registry("thing")
         registry.register("alpha", lambda: 1, aliases=("a",))
@@ -131,6 +161,22 @@ class TestGenericRegistry:
         assert "a" not in registry
         registry.register("alpha", lambda: 2, aliases=("a",))  # reusable again
         assert registry.create("a") == 2
+
+    def test_unregister_unknown_name_is_a_noop(self):
+        registry = Registry("thing")
+        registry.register("alpha", lambda: 1)
+        registry.unregister("never_registered")  # must not raise
+        assert registry.available() == ["alpha"]
+
+    def test_unregister_by_alias_is_a_noop(self):
+        # unregister takes the *canonical* name; an alias is deliberately not
+        # resolved, so removing "a" leaves alpha (and the alias) in place.
+        registry = Registry("thing")
+        registry.register("alpha", lambda: 1, aliases=("a",))
+        registry.unregister("a")
+        assert "alpha" in registry and "a" in registry
+        registry.unregister("alpha")
+        assert "a" not in registry
 
     def test_contains_and_len(self):
         registry = Registry("thing")
