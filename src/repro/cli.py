@@ -17,9 +17,13 @@ Subcommands:
   not in the committed baseline fail the run (``--update-baseline`` refreshes
   it, ``--list-rules`` documents every rule);
 * ``cache``  — inspect, clear, or merge on-disk result caches;
-* ``queue``  — drive the file-backed distributed work queue: ``enqueue`` the
-  report grid, ``work`` as a competing consumer, ``status`` the task states,
-  ``requeue-stale`` expired leases of dead workers, or ``clear`` the queue.
+* ``queue``  — drive the distributed work queue: ``enqueue`` the report grid,
+  ``work`` as a competing consumer, ``status`` the task states,
+  ``requeue-stale`` expired leases of dead workers, or ``clear`` the queue —
+  against the local queue directory or (``--queue-url``) a ``repro serve``
+  server;
+* ``serve``  — host a work queue + result cache over HTTP so workers on other
+  machines drain one sweep without a shared filesystem.
 
 Every experiment honours ``--jobs`` (process-parallel fan-out) and the result
 cache under ``--cache-dir`` (default ``.repro_cache/``, or ``$REPRO_CACHE_DIR``);
@@ -36,7 +40,10 @@ Dynamic load balancing replaces static shard ownership with ``--queue
 ``--queue-dir`` (default ``.repro_queue/`` or ``$REPRO_QUEUE_DIR``) that N
 competing consumers drain with crash-safe lease/ack semantics — a killed
 worker's cells are reclaimed after ``--lease-timeout`` seconds (``repro queue
-requeue-stale``) instead of straggling the run.
+requeue-stale``) instead of straggling the run. Without a shared filesystem,
+``repro serve`` hosts the queue and cache over HTTP and the same commands
+point at it with ``--queue-url http://host:port`` instead of ``--queue-dir``
+(lease timing then lives on the server — it is the single clock authority).
 
 Policies, models and experiments resolve through the open registries
 (:mod:`repro.registry`); out-of-tree registrations load with ``--plugins
@@ -57,7 +64,10 @@ from typing import Sequence
 from .api import Scenario
 from .experiments import (
     DEFAULT_LEASE_TIMEOUT,
+    DEFAULT_MAX_ATTEMPTS,
     ConfigPatch,
+    HttpResultCache,
+    HttpWorkQueue,
     ResultCache,
     SweepRunner,
     SweepSpec,
@@ -84,10 +94,30 @@ def _csv(text: str) -> list[str]:
 
 
 def _make_runner(args: argparse.Namespace) -> SweepRunner:
-    cache = None if getattr(args, "no_cache", False) else ResultCache(args.cache_dir)
-    queue_dir = None
     workers = getattr(args, "workers", None)
     jobs = args.jobs
+    queue_url = getattr(args, "queue_url", None)
+    if queue_url is not None:
+        # HTTP queue mode: the server owns the queue, the cache *and* the
+        # lease timing, so every local override of those is a contradiction.
+        if getattr(args, "queue", False) or getattr(args, "queue_dir", None):
+            raise ConfigurationError("--queue-url and --queue/--queue-dir are mutually exclusive")
+        if getattr(args, "no_cache", False):
+            raise ConfigurationError(
+                "--queue-url routes results through the server's cache (drop --no-cache)"
+            )
+        if getattr(args, "cache_dir", None):
+            raise ConfigurationError(
+                "--cache-dir has no effect with --queue-url: results live in the "
+                "server's cache (merge or report from there)"
+            )
+        if getattr(args, "lease_timeout", None) is not None:
+            raise ConfigurationError(
+                "--lease-timeout is server configuration: set it on repro serve"
+            )
+        return SweepRunner(jobs=workers or jobs, queue_url=queue_url)
+    cache = None if getattr(args, "no_cache", False) else ResultCache(args.cache_dir)
+    queue_dir = None
     if getattr(args, "queue", False):
         if cache is None:
             raise ConfigurationError("--queue requires the result cache (drop --no-cache)")
@@ -476,12 +506,33 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 
 def _cmd_queue(args: argparse.Namespace) -> int:
-    kwargs = {} if args.max_attempts is None else {"max_attempts": args.max_attempts}
-    queue = WorkQueue(
-        args.queue_dir or default_queue_root(),
-        lease_timeout=args.lease_timeout,
-        **kwargs,
-    )
+    if args.queue_url is not None:
+        if args.queue_dir is not None:
+            raise ConfigurationError("--queue-url and --queue-dir are mutually exclusive")
+        if args.lease_timeout is not None or args.max_attempts is not None:
+            raise ConfigurationError(
+                "--lease-timeout/--max-attempts are server configuration: "
+                "set them on repro serve"
+            )
+        if args.cache_dir is not None:
+            raise ConfigurationError(
+                "--cache-dir has no effect with --queue-url: results live in "
+                "the server's cache"
+            )
+        queue: WorkQueue | HttpWorkQueue = HttpWorkQueue(args.queue_url)
+        cache: ResultCache | HttpResultCache | None = (
+            None if args.no_cache else HttpResultCache(args.queue_url)
+        )
+    else:
+        kwargs = {} if args.max_attempts is None else {"max_attempts": args.max_attempts}
+        queue = WorkQueue(
+            args.queue_dir or default_queue_root(),
+            lease_timeout=(
+                DEFAULT_LEASE_TIMEOUT if args.lease_timeout is None else args.lease_timeout
+            ),
+            **kwargs,
+        )
+        cache = None if args.no_cache else ResultCache(args.cache_dir)
     if args.action == "status":
         status = queue.status()
         # `total` is what the state directories contain; `expected` is what
@@ -505,7 +556,6 @@ def _cmd_queue(args: argparse.Namespace) -> int:
         print(f"requeued {len(keys)} stale lease(s)")
         return 0
     if args.action == "enqueue":
-        cache = None if args.no_cache else ResultCache(args.cache_dir)
         counts = enqueue_report(
             queue,
             scale=args.scale,
@@ -514,17 +564,17 @@ def _cmd_queue(args: argparse.Namespace) -> int:
             priority=args.priority,
         )
         print(
-            f"enqueued {counts['queued']} cell(s) into {queue.root} "
+            f"enqueued {counts['queued']} cell(s) into {queue.describe()} "
             f"({counts['warm']} already warm, {counts['retried']} failed retried, "
             f"{counts['skipped']} already tracked)"
         )
         return 0
     if args.action == "work":
-        if args.no_cache:
+        if cache is None:
             raise ConfigurationError("queue workers need a result cache (drop --no-cache)")
         executed = run_worker(
             queue,
-            ResultCache(args.cache_dir),
+            cache,
             worker_id=args.worker_id,
             poll_interval=args.poll_interval,
         )
@@ -539,7 +589,22 @@ def _cmd_queue(args: argparse.Namespace) -> int:
         return 0 if status["failed"] == 0 else 1
     if args.action == "clear":
         queue.clear()
-        print(f"cleared queue at {queue.root}")
+        print(f"cleared queue at {queue.describe()}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .experiments.server import serve
+
+    serve(
+        args.queue_dir or default_queue_root(),
+        args.cache_dir,
+        host=args.host,
+        port=args.port,
+        lease_timeout=args.lease_timeout,
+        max_attempts=args.max_attempts if args.max_attempts is not None else DEFAULT_MAX_ATTEMPTS,
+        stream=sys.stderr,
+    )
     return 0
 
 
@@ -572,7 +637,10 @@ def _add_queue(parser: argparse.ArgumentParser) -> None:
                         help="competing consumer processes in queue mode (default: --jobs or 1)")
     parser.add_argument("--lease-timeout", type=float, default=None, metavar="SECONDS",
                         help="seconds before a dead worker's lease is reclaimable "
-                             f"(default: {DEFAULT_LEASE_TIMEOUT:.0f})")
+                             f"(default: {DEFAULT_LEASE_TIMEOUT:.0f}; file queue only)")
+    parser.add_argument("--queue-url", default=None, metavar="URL",
+                        help="drain a repro serve queue at this URL instead of a "
+                             "local queue directory (results land in the server's cache)")
 
 
 def _add_shard(parser: argparse.ArgumentParser) -> None:
@@ -651,15 +719,18 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("status", "requeue-stale", "enqueue", "work", "clear"))
     queue.add_argument("--queue-dir", default=None, metavar="DIR",
                        help="work-queue directory (default: .repro_queue or $REPRO_QUEUE_DIR)")
-    queue.add_argument("--lease-timeout", type=float, default=DEFAULT_LEASE_TIMEOUT,
+    queue.add_argument("--queue-url", default=None, metavar="URL",
+                       help="operate on a repro serve queue at this URL instead of "
+                            "a local queue directory")
+    queue.add_argument("--lease-timeout", type=float, default=None,
                        metavar="SECONDS",
                        help="deadline encoded into leases this process *takes* "
                             "(work); existing leases expire at the deadline "
                             "recorded when they were claimed "
-                            f"(default: {DEFAULT_LEASE_TIMEOUT:.0f})")
+                            f"(default: {DEFAULT_LEASE_TIMEOUT:.0f}; file queue only)")
     queue.add_argument("--max-attempts", type=int, default=None, metavar="N",
                        help="lease attempts per cell before it is parked as failed "
-                            "(default: 5)")
+                            "(default: 5; file queue only)")
     queue.add_argument("--figures", default=None, metavar="IDS",
                        help="enqueue: comma-separated experiment ids (default: all)")
     queue.add_argument("--priority", choices=("slowest-first",), default=None,
@@ -676,6 +747,26 @@ def build_parser() -> argparse.ArgumentParser:
     queue.add_argument("--no-cache", action="store_true",
                        help="enqueue without consulting the cache for warm cells")
     queue.set_defaults(func=_cmd_queue)
+
+    serve = sub.add_parser(
+        "serve", help="host the work queue + result cache over HTTP (repro queue/sweep --queue-url)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", metavar="ADDR",
+                       help="bind address (default: 127.0.0.1; 0.0.0.0 for a fleet)")
+    serve.add_argument("--port", type=int, default=8765, metavar="PORT",
+                       help="bind port; 0 picks a free port (default: 8765)")
+    serve.add_argument("--queue-dir", default=None, metavar="DIR",
+                       help="backing queue directory (default: .repro_queue or $REPRO_QUEUE_DIR)")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="backing result cache (default: .repro_cache or $REPRO_CACHE_DIR)")
+    serve.add_argument("--lease-timeout", type=float, default=DEFAULT_LEASE_TIMEOUT,
+                       metavar="SECONDS",
+                       help="lease deadline handed to workers; the server's clock is "
+                            f"the single authority (default: {DEFAULT_LEASE_TIMEOUT:.0f})")
+    serve.add_argument("--max-attempts", type=int, default=None, metavar="N",
+                       help="lease attempts per cell before it is parked as failed "
+                            "(default: 5)")
+    serve.set_defaults(func=_cmd_serve)
 
     bench = sub.add_parser(
         "bench", help="time the simulation core on representative cells"

@@ -47,5 +47,9 @@ class QueueError(ReproError):
     """The distributed work queue reached an inconsistent or failed state."""
 
 
+class QueueConnectionError(QueueError):
+    """An HTTP queue backend could not reach or understand its server."""
+
+
 class LintError(ReproError):
     """The static analyzer was misconfigured (unknown rule, bad baseline)."""

@@ -1,0 +1,315 @@
+"""Backend contract of the distributed work queue (file- and HTTP-backed).
+
+PR 4 built the queue around one concrete class — the file-backed
+:class:`~repro.experiments.queue.WorkQueue` — and the network-backed follow-up
+makes the implicit contract explicit: this module is that contract.
+:class:`QueueBackend` names the operations every backend must provide, with
+the exact semantics the conformance suite (``tests/test_queue_conformance.py``)
+pins against every implementation:
+
+* **enqueue_tasks** is idempotent per key: active keys are skipped, keys
+  parked in the failed state are retried with a fresh attempt budget, warm
+  keys go straight to done;
+* **lease** claims the next task in deterministic drain order (highest
+  recorded priority cost first, then key order) and publishes a deadline
+  measured by the backend's *authority clock*;
+* **ack** is idempotent per key and still completes a lease that expired and
+  was requeued (the result is content-addressed, recomputing is pure waste);
+* **release/renew** hand a task back / extend a held lease atomically;
+* **requeue_stale** reclaims every expired lease (dead-worker recovery);
+* **status/events/failed_keys** expose identical accounting everywhere, so
+  ``repro queue status`` reconciles the same way against either backend.
+
+The module also owns shared mechanics both backends depend on:
+
+* :class:`MonotonicEpochClock` — the default deadline clock. Lease deadlines
+  used to be raw ``time.time()`` wall-clock: a backwards NTP step could
+  instantly expire a healthy lease, and a forward step could make
+  ``requeue_stale`` reclaim live leases en masse. Anchoring
+  ``time.monotonic()`` to one wall epoch captured at construction keeps
+  timestamps human-readable while making deadline *arithmetic* immune to
+  clock steps. The HTTP backend goes further: every deadline is computed by
+  the server's clock alone, so worker clock skew cannot double-lease a task.
+* :func:`sanitize_worker_id` / :func:`default_worker_id` — worker ids are
+  sanitized *at construction*, not only when a lease filename is built.
+  Default ids embed the hostname (essential once workers span machines), and
+  a dotted FQDN used to produce lease filenames the lease regex could not
+  parse back: the task was never requeued and ``status`` undercounted. See
+  :meth:`~repro.experiments.queue.WorkQueue.requeue_stale` for the
+  defense-in-depth half of that fix (unparseable lease files are treated as
+  stale instead of skipped).
+* :func:`backend_from_info` / :func:`cache_from_info` — picklable connection
+  descriptors, so a :class:`~repro.experiments.queue.QueueRunner` worker
+  process can reconstruct whichever backend its parent was driving.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+import re
+import socket
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Protocol
+
+from ..errors import ConfigurationError, QueueError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .sweep import SweepCell
+
+#: Task keys are sweep cache keys: lowercase-hex content hashes.
+KEY_RE = re.compile(r"^[0-9a-f]{2,64}$")
+
+#: Characters a worker id may contribute to a lease filename.
+_WORKER_SAFE_RE = re.compile(r"[^A-Za-z0-9_-]")
+
+
+class MonotonicEpochClock:
+    """``time.monotonic()`` anchored to the wall epoch captured at construction.
+
+    Readings look like wall-clock seconds (so ``events.jsonl`` timestamps and
+    encoded lease deadlines stay human-readable) but *advance* with the
+    monotonic clock: an NTP step after construction moves ``time.time()`` and
+    leaves this clock's pace untouched, so a lease deadline computed before
+    the step still expires exactly ``lease_timeout`` seconds after it was
+    taken. Deadline comparisons are only ever made against the same clock
+    instance (one per process; the HTTP server's instance is the single
+    authority for every worker it serves), so the anchored epoch cancels out
+    of all deadline arithmetic.
+    """
+
+    def __init__(self) -> None:
+        self._offset = time.time() - time.monotonic()
+
+    def __call__(self) -> float:
+        return self._offset + time.monotonic()
+
+
+#: One deadline clock per process: every queue constructed without an explicit
+#: ``clock`` shares this instance, so their deadlines are mutually comparable.
+_PROCESS_CLOCK = MonotonicEpochClock()
+
+
+def default_clock() -> Callable[[], float]:
+    """The process-wide monotonic-with-epoch deadline clock."""
+    return _PROCESS_CLOCK
+
+
+def sanitize_worker_id(worker: str) -> str:
+    """A worker id reduced to lease-filename-safe characters.
+
+    Lease filenames encode the worker id between dots
+    (``<key>.aN.dUS.w<worker>.json``), so dots — as in an FQDN hostname —
+    used to make the leased file unparseable and the task unreclaimable.
+    Every id is funnelled through this at construction time.
+    """
+    cleaned = _WORKER_SAFE_RE.sub("-", worker)[:64]
+    return cleaned or "worker"
+
+
+def default_worker_id() -> str:
+    """Hostname + pid, sanitized — a stable, cross-machine-unique default."""
+    try:
+        host = socket.gethostname() or "host"
+    except OSError:  # pragma: no cover - platform-specific failure
+        host = "host"
+    return sanitize_worker_id(f"{host}-{os.getpid()}")
+
+
+@dataclass(frozen=True)
+class Lease:
+    """A claimed task: the key/cell plus proof of ownership.
+
+    ``path`` is the backend-specific ownership token: the leased file for the
+    file backend, the server-side lease filename (as a relative token) for
+    the HTTP backend. A lease is only ever *advisory* ownership — it can
+    expire and be reassigned while the holder still computes. That is safe by
+    construction: results land in the content-addressed cache, so duplicated
+    work produces bit-identical payloads and :meth:`QueueBackend.ack` is
+    idempotent per key.
+    """
+
+    key: str
+    attempts: int
+    deadline: float
+    worker: str
+    path: Path
+    task: dict
+
+    def cell(self) -> "SweepCell":
+        """The sweep cell this task executes."""
+        from .sweep import SweepCell
+
+        data = self.task.get("cell")
+        if data is None:
+            raise QueueError(f"task {self.key[:12]} carries no sweep cell")
+        return SweepCell.from_dict(data)
+
+
+class ResultStore(Protocol):
+    """What queue execution needs from a result cache (file- or HTTP-backed)."""
+
+    def get(self, key: str) -> dict | None: ...
+
+    def put(self, key: str, payload: dict, cell: dict | None = None) -> object: ...
+
+    def has(self, key: str) -> bool: ...
+
+    def connect_info(self) -> dict: ...
+
+
+class QueueBackend(abc.ABC):
+    """Abstract lease/ack/requeue contract both queue backends satisfy.
+
+    Concrete backends must also expose ``lease_timeout`` (seconds before an
+    unacked lease may be reclaimed) and ``max_attempts`` (lease attempts per
+    task before it is parked as failed; ``None`` retries forever). For the
+    HTTP backend these mirror the *server's* configuration — the server is
+    the single authority for deadlines and retry budgets.
+    """
+
+    lease_timeout: float
+    max_attempts: int | None
+
+    # -- abstract surface ------------------------------------------------------
+
+    @abc.abstractmethod
+    def enqueue_tasks(
+        self, tasks: Iterable[tuple[str, dict]], warm: frozenset[str] | set[str] = frozenset()
+    ) -> dict[str, int]:
+        """Add raw ``(key, task)`` pairs idempotently; returns transition counts."""
+
+    @abc.abstractmethod
+    def lease(self, worker: str | None = None) -> Lease | None:
+        """Claim the next task in drain order, or ``None`` when nothing is queued."""
+
+    @abc.abstractmethod
+    def ack(self, lease: Lease) -> bool:
+        """Mark a leased task complete (idempotent, keyed on the cache key)."""
+
+    @abc.abstractmethod
+    def release(self, lease: Lease) -> bool:
+        """Voluntarily give a task back (e.g. after an execution error)."""
+
+    @abc.abstractmethod
+    def renew(self, lease: Lease) -> Lease | None:
+        """Extend a held lease; ``None`` when it was already reclaimed."""
+
+    @abc.abstractmethod
+    def requeue_stale(self, now: float | None = None) -> list[str]:
+        """Reclaim every expired lease. ``now`` overrides the authority clock
+        where the caller *is* the authority (file backend); the HTTP backend
+        ignores it — only the server's clock decides expiry."""
+
+    @abc.abstractmethod
+    def status(self) -> dict[str, object]:
+        """Per-state task counts, stale-lease count, and reconciliation totals."""
+
+    @abc.abstractmethod
+    def events(self) -> list[dict]:
+        """Every logged transition, oldest first."""
+
+    @abc.abstractmethod
+    def failed_keys(self) -> set[str]:
+        """Keys parked as failed after exhausting their attempt budget."""
+
+    @abc.abstractmethod
+    def set_priorities(self, costs: Mapping[str, float]) -> None:
+        """Record advisory per-key cost estimates for slowest-first draining."""
+
+    @abc.abstractmethod
+    def log_event(self, event: str, **fields: object) -> None:
+        """Append an out-of-band record (e.g. a worker error) to the audit log."""
+
+    @abc.abstractmethod
+    def clear(self) -> None:
+        """Delete every task, the events log, everything."""
+
+    @abc.abstractmethod
+    def connect_info(self) -> dict:
+        """A picklable descriptor :func:`backend_from_info` reconstructs from."""
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """Human-readable queue location (directory path or server URL)."""
+
+    # -- shared concrete behaviour ---------------------------------------------
+
+    def enqueue(
+        self,
+        cells: Iterable["SweepCell"],
+        cache: ResultStore | None = None,
+        priority: str | None = None,
+    ) -> dict[str, int]:
+        """Enqueue sweep cells, deduplicated on cache key (warm cells done).
+
+        ``priority="slowest-first"`` additionally records each cell's
+        estimated cost (:func:`~repro.experiments.sweep.estimate_cell_cost`)
+        so consumers start the longest cells first, shortening the drain's
+        critical path when the last few cells would otherwise straggle.
+        """
+        from .sweep import estimate_cell_cost
+
+        if priority not in (None, "slowest-first"):
+            raise ConfigurationError(
+                f"unknown queue priority {priority!r}; expected 'slowest-first'"
+            )
+        distinct: dict[str, "SweepCell"] = {}
+        for cell in cells:
+            distinct.setdefault(cell.cache_key(), cell)
+        if priority == "slowest-first":
+            self.set_priorities(
+                {key: estimate_cell_cost(cell) for key, cell in distinct.items()}
+            )
+        warm = {key for key in distinct if cache is not None and cache.has(key)}
+        return self.enqueue_tasks(
+            ((key, {"cell": cell.to_dict()}) for key, cell in distinct.items()), warm=warm
+        )
+
+    def pending(self) -> int:
+        """Tasks not yet completed or failed (queued + leased)."""
+        status = self.status()
+        return int(status["queued"]) + int(status["leased"])  # type: ignore[call-overload]
+
+    def drained(self) -> bool:
+        """True when every task reached the done or failed state."""
+        return self.pending() == 0
+
+
+def backend_from_info(info: Mapping[str, object]) -> QueueBackend:
+    """Reconstruct a queue backend from its :meth:`~QueueBackend.connect_info`.
+
+    Worker processes receive this descriptor (it is picklable where a live
+    backend is not) and rebuild their parent's backend from it.
+    """
+    kind = info.get("kind")
+    if kind == "file":
+        from .queue import WorkQueue
+
+        raw_attempts = info.get("max_attempts")
+        return WorkQueue(
+            str(info["root"]),
+            lease_timeout=float(info["lease_timeout"]),  # type: ignore[arg-type]
+            max_attempts=None if raw_attempts is None else int(raw_attempts),  # type: ignore[arg-type]
+        )
+    if kind == "http":
+        from .http_queue import HttpWorkQueue
+
+        return HttpWorkQueue(str(info["url"]), timeout=float(info.get("timeout", 60.0)))  # type: ignore[arg-type]
+    raise ConfigurationError(f"unknown queue backend kind {kind!r}")
+
+
+def cache_from_info(info: Mapping[str, object]) -> ResultStore:
+    """Reconstruct a result store from its ``connect_info`` descriptor."""
+    kind = info.get("kind")
+    if kind == "file":
+        from .cache import ResultCache
+
+        return ResultCache(str(info["root"]))
+    if kind == "http":
+        from .http_queue import HttpResultCache
+
+        return HttpResultCache(str(info["url"]), timeout=float(info.get("timeout", 60.0)))  # type: ignore[arg-type]
+    raise ConfigurationError(f"unknown result-cache kind {kind!r}")

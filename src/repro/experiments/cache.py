@@ -160,8 +160,14 @@ class ResultCache:
         return merged
 
     def _stale_tmp_files(self) -> list[Path]:
-        """Temp files abandoned by killed writers (``<key>.tmp.<pid>``)."""
-        return sorted(self.root.glob("*/*.tmp.*"))
+        """Temp files abandoned by killed writers.
+
+        The current naming is ``<key>.tmp.<pid>.<n>`` (see :func:`_tmp_path`);
+        the glob also matches the pre-collision-fix ``<key>.tmp.<pid>`` and
+        original ``<key>.tmp`` spellings, so temporaries leaked by older
+        releases are still reported and swept.
+        """
+        return sorted(self.root.glob("*/*.tmp*"))
 
     def clear(self) -> int:
         """Delete every cache entry *and* sweep stale temp files.
@@ -185,3 +191,8 @@ class ResultCache:
             "stale_tmp": len(stale),
             "stale_tmp_bytes": sum(p.stat().st_size for p in stale),
         }
+
+    def connect_info(self) -> dict:
+        """Picklable descriptor a worker process reconstructs this cache from
+        (see :func:`~repro.experiments.backend.cache_from_info`)."""
+        return {"kind": "file", "root": str(self.root)}

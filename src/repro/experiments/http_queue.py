@@ -1,0 +1,268 @@
+"""HTTP client half of the network-backed work queue.
+
+:class:`HttpWorkQueue` satisfies the same
+:class:`~repro.experiments.backend.QueueBackend` contract as the file-backed
+:class:`~repro.experiments.queue.WorkQueue`, but every operation is a JSON
+request to a ``repro serve`` process (:mod:`~repro.experiments.server`), so
+workers on other machines can drain one queue without a shared filesystem.
+:class:`HttpResultCache` is the matching
+:class:`~repro.experiments.backend.ResultStore`: results land in the *server's*
+content-addressed cache, so a distributed drain needs no shard-cache merge.
+
+Three deliberate asymmetries versus the file backend:
+
+* **The server is the clock authority.** Lease deadlines, renewals and
+  staleness are all computed by the server's monotonic-with-epoch clock; the
+  client never does deadline arithmetic and :meth:`HttpWorkQueue.requeue_stale`
+  ignores its ``now`` argument. A worker with a skewed wall clock therefore
+  cannot expire a healthy peer's lease or double-lease a task.
+* **Configuration flows server → client.** ``lease_timeout`` and
+  ``max_attempts`` mirror the server's values (fetched lazily from
+  ``/v1/health``); passing them client-side would let two workers disagree
+  about the retry budget.
+* **Transport failures are their own error.**
+  :class:`~repro.errors.QueueConnectionError` (unreachable server, non-JSON
+  response) is distinct from a *semantic* error the server reports, which is
+  re-raised as the original :class:`~repro.errors.ConfigurationError` /
+  :class:`~repro.errors.QueueError`.
+
+The wire protocol is one JSON object per request/response over plain
+HTTP/1.1 (``Connection: close``), implemented with :mod:`urllib.request` —
+no third-party dependency on either side.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from ..errors import ConfigurationError, QueueConnectionError, QueueError
+from .backend import (
+    Lease,
+    QueueBackend,
+    default_worker_id,
+    sanitize_worker_id,
+)
+
+__all__ = ["HttpResultCache", "HttpWorkQueue"]
+
+#: Default per-request timeout (seconds). Covers slow enqueues of paper-scale
+#: grids; individual cell executions never hold a request open.
+DEFAULT_HTTP_TIMEOUT = 60.0
+
+
+class _HttpClient:
+    """Minimal JSON-over-HTTP transport shared by the queue and cache clients."""
+
+    def __init__(self, url: str, timeout: float = DEFAULT_HTTP_TIMEOUT):
+        if not url.startswith(("http://", "https://")):
+            raise ConfigurationError(
+                f"queue server URL must start with http:// or https://, got {url!r}"
+            )
+        self.url = url.rstrip("/")
+        self.timeout = float(timeout)
+
+    def request(self, path: str, body: Mapping[str, object] | None = None) -> dict:
+        """POST ``body`` as JSON (GET when ``body`` is ``None``); decode JSON.
+
+        Semantic errors the server reports (HTTP 4xx with an ``error``/``kind``
+        payload) are re-raised as the library exception they were on the
+        server; everything transport-shaped becomes
+        :class:`~repro.errors.QueueConnectionError`.
+        """
+        url = self.url + path
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(
+            url,
+            data=data,
+            headers={} if data is None else {"Content-Type": "application/json"},
+            method="GET" if data is None else "POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                raw = response.read()
+        except urllib.error.HTTPError as exc:
+            detail = exc.read()
+            try:
+                payload = json.loads(detail.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                payload = None
+            if isinstance(payload, dict) and "error" in payload:
+                message = str(payload["error"])
+                if payload.get("kind") == "configuration":
+                    raise ConfigurationError(message) from None
+                raise QueueError(message) from None
+            raise QueueConnectionError(f"{url}: HTTP {exc.code}") from exc
+        except (urllib.error.URLError, OSError) as exc:
+            raise QueueConnectionError(
+                f"cannot reach queue server at {url}: {exc}"
+            ) from exc
+        try:
+            decoded = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise QueueConnectionError(f"{url}: server sent invalid JSON") from exc
+        if not isinstance(decoded, dict):
+            raise QueueConnectionError(
+                f"{url}: expected a JSON object, got {type(decoded).__name__}"
+            )
+        return decoded
+
+
+class HttpWorkQueue(QueueBackend):
+    """Queue backend speaking JSON to a ``repro serve`` process.
+
+    Args:
+        url: Server base URL, e.g. ``http://127.0.0.1:8765``.
+        timeout: Per-request timeout in seconds.
+    """
+
+    def __init__(self, url: str, timeout: float = DEFAULT_HTTP_TIMEOUT):
+        self._client = _HttpClient(url, timeout=timeout)
+        self.url = self._client.url
+        self.timeout = self._client.timeout
+
+    def __getattr__(self, name: str) -> object:
+        # lease_timeout / max_attempts mirror the *server's* configuration:
+        # fetched lazily from /v1/health on first use, then cached, so a
+        # client can be constructed before its server finishes starting.
+        if name in ("lease_timeout", "max_attempts"):
+            health = self._client.request("/v1/health")
+            self.__dict__["lease_timeout"] = float(health["lease_timeout"])  # type: ignore[arg-type]
+            raw_attempts = health.get("max_attempts")
+            self.__dict__["max_attempts"] = (
+                None if raw_attempts is None else int(raw_attempts)  # type: ignore[call-overload]
+            )
+            return self.__dict__[name]
+        raise AttributeError(name)
+
+    # -- wire helpers ----------------------------------------------------------
+
+    @staticmethod
+    def _lease_from_wire(data: Mapping[str, object]) -> Lease:
+        task = data.get("task")
+        return Lease(
+            key=str(data["key"]),
+            attempts=int(data["attempts"]),  # type: ignore[call-overload]
+            deadline=float(data["deadline"]),  # type: ignore[arg-type]
+            worker=str(data["worker"]),
+            # The ownership token: the server-side leased filename. Kept as a
+            # relative Path so Lease has one shape across backends.
+            path=Path(str(data["name"])),
+            task=task if isinstance(task, dict) else {},
+        )
+
+    @staticmethod
+    def _lease_to_wire(lease: Lease) -> dict[str, object]:
+        return {
+            "key": lease.key,
+            "attempts": lease.attempts,
+            "worker": lease.worker,
+            "name": lease.path.name,
+        }
+
+    # -- QueueBackend surface --------------------------------------------------
+
+    def enqueue_tasks(
+        self, tasks: Iterable[tuple[str, dict]], warm: frozenset[str] | set[str] = frozenset()
+    ) -> dict[str, int]:
+        body: dict[str, object] = {
+            "tasks": [[key, task] for key, task in tasks],
+            "warm": sorted(warm),
+        }
+        counts = self._client.request("/v1/queue/enqueue", body)
+        return {str(state): int(count) for state, count in counts.items()}  # type: ignore[call-overload]
+
+    def lease(self, worker: str | None = None) -> Lease | None:
+        worker = sanitize_worker_id(worker) if worker else default_worker_id()
+        reply = self._client.request("/v1/queue/lease", {"worker": worker})
+        data = reply.get("lease")
+        return self._lease_from_wire(data) if isinstance(data, dict) else None
+
+    def ack(self, lease: Lease) -> bool:
+        return bool(self._client.request("/v1/queue/ack", self._lease_to_wire(lease))["ok"])
+
+    def release(self, lease: Lease) -> bool:
+        return bool(
+            self._client.request("/v1/queue/release", self._lease_to_wire(lease))["ok"]
+        )
+
+    def renew(self, lease: Lease) -> Lease | None:
+        reply = self._client.request("/v1/queue/renew", self._lease_to_wire(lease))
+        data = reply.get("lease")
+        return self._lease_from_wire(data) if isinstance(data, dict) else None
+
+    def requeue_stale(self, now: float | None = None) -> list[str]:
+        """Reclaim expired leases. ``now`` is deliberately ignored: only the
+        server's clock decides expiry, so a skew-clocked client cannot force
+        a live lease to be reassigned."""
+        reply = self._client.request("/v1/queue/requeue-stale", {})
+        requeued = reply.get("requeued")
+        return [str(key) for key in requeued] if isinstance(requeued, list) else []
+
+    def status(self) -> dict[str, object]:
+        return dict(self._client.request("/v1/queue/status"))
+
+    def events(self) -> list[dict]:
+        reply = self._client.request("/v1/queue/events")
+        raw = reply.get("events")
+        return [record for record in raw if isinstance(record, dict)] if isinstance(raw, list) else []
+
+    def failed_keys(self) -> set[str]:
+        reply = self._client.request("/v1/queue/failed")
+        raw = reply.get("failed")
+        return {str(key) for key in raw} if isinstance(raw, list) else set()
+
+    def set_priorities(self, costs: Mapping[str, float]) -> None:
+        self._client.request(
+            "/v1/queue/priorities",
+            {"costs": {str(key): float(cost) for key, cost in costs.items()}},
+        )
+
+    def log_event(self, event: str, **fields: object) -> None:
+        self._client.request("/v1/queue/log", {"event": event, "fields": fields})
+
+    def clear(self) -> None:
+        self._client.request("/v1/queue/clear", {})
+
+    def connect_info(self) -> dict:
+        return {"kind": "http", "url": self.url, "timeout": self.timeout}
+
+    def describe(self) -> str:
+        return self.url
+
+
+class HttpResultCache:
+    """Result store writing through to the server's content-addressed cache.
+
+    Satisfies :class:`~repro.experiments.backend.ResultStore`. Unlike the
+    per-worker shard caches of the file-backed CI sweep, every HTTP worker
+    shares the server's single cache — results need no merge step, and the
+    warm-detection in :meth:`~repro.experiments.backend.QueueBackend.enqueue`
+    sees every peer's completed work immediately.
+    """
+
+    def __init__(self, url: str, timeout: float = DEFAULT_HTTP_TIMEOUT):
+        self._client = _HttpClient(url, timeout=timeout)
+        self.url = self._client.url
+        self.timeout = self._client.timeout
+
+    def get(self, key: str) -> dict | None:
+        reply = self._client.request("/v1/cache/get", {"key": key})
+        payload = reply.get("payload")
+        return payload if isinstance(payload, dict) else None
+
+    def put(self, key: str, payload: dict, cell: dict | None = None) -> str:
+        self._client.request("/v1/cache/put", {"key": key, "payload": payload, "cell": cell})
+        return key
+
+    def has(self, key: str) -> bool:
+        return bool(self._client.request("/v1/cache/has", {"key": key})["has"])
+
+    def stats(self) -> dict[str, object]:
+        return dict(self._client.request("/v1/cache/stats"))
+
+    def connect_info(self) -> dict:
+        return {"kind": "http", "url": self.url, "timeout": self.timeout}

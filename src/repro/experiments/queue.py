@@ -58,6 +58,15 @@ Fault injection: when the ``REPRO_QUEUE_FAULT_DELAY`` environment variable is
 set, :func:`run_worker` sleeps that many seconds between leasing a task and
 executing it. The hook exists so tests can deterministically kill a worker
 mid-lease; production code never sets it.
+
+This class is the *file* implementation of the
+:class:`~repro.experiments.backend.QueueBackend` contract; the network-backed
+sibling (:mod:`~repro.experiments.http_queue` speaking to ``repro serve``)
+satisfies the same contract, and ``tests/test_queue_conformance.py`` runs one
+shared suite against both. Deadline math runs on the backend's injectable
+clock, which defaults to the process-wide monotonic-with-epoch clock
+(:func:`~repro.experiments.backend.default_clock`) — wall-clock NTP steps can
+no longer instantly expire a healthy lease or stall ``requeue_stale``.
 """
 
 from __future__ import annotations
@@ -68,13 +77,35 @@ import os
 import re
 import threading
 import time
-from dataclasses import dataclass, replace
+from dataclasses import replace
 from pathlib import Path
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 from ..errors import ConfigurationError, QueueError
-from .cache import ResultCache, _tmp_path
-from .sweep import SweepCell, estimate_cell_cost, execute_cell
+from .backend import (
+    KEY_RE as _KEY_RE,
+    Lease,
+    QueueBackend,
+    ResultStore,
+    backend_from_info,
+    cache_from_info,
+    default_clock,
+    default_worker_id,
+    sanitize_worker_id,
+)
+from .cache import _tmp_path
+from .sweep import SweepCell, execute_cell
+
+__all__ = [
+    "DEFAULT_LEASE_TIMEOUT",
+    "DEFAULT_MAX_ATTEMPTS",
+    "Lease",
+    "LeaseHeartbeat",
+    "QueueRunner",
+    "WorkQueue",
+    "default_queue_root",
+    "run_worker",
+]
 
 #: Bump when the task-file layout changes; foreign/mismatched files are ignored.
 QUEUE_SCHEMA_VERSION = 1
@@ -92,11 +123,17 @@ DEFAULT_MAX_ATTEMPTS = 5
 #: Test-only fault-injection hook (seconds to sleep between lease and execute).
 FAULT_DELAY_ENV = "REPRO_QUEUE_FAULT_DELAY"
 
-_KEY_RE = re.compile(r"^[0-9a-f]{2,64}$")
 _QUEUED_RE = re.compile(r"^(?P<key>[0-9a-f]{2,64})\.a(?P<attempts>\d+)\.json$")
 _LEASED_RE = re.compile(
     r"^(?P<key>[0-9a-f]{2,64})\.a(?P<attempts>\d+)"
     r"\.d(?P<deadline>\d+)\.w(?P<worker>[A-Za-z0-9_-]+)\.json$"
+)
+#: Lenient fallback for lease files the strict regex rejects (e.g. a worker id
+#: with dots written by an older release): recover the key/attempts so the
+#: task can be reclaimed instead of stranded.
+_LOOSE_LEASED_RE = re.compile(
+    r"^(?P<key>[0-9a-f]{2,64})\.a(?P<attempts>\d+)"
+    r"\.d(?P<deadline>\d+)\.w(?P<worker>.+)\.json$"
 )
 
 # Queue workers fork where the platform allows it (cheap, inherits warm
@@ -113,37 +150,7 @@ def default_queue_root() -> Path:
     return Path(os.environ.get("REPRO_QUEUE_DIR", DEFAULT_QUEUE_DIR))
 
 
-def _sanitize_worker(worker: str) -> str:
-    cleaned = re.sub(r"[^A-Za-z0-9_-]", "-", worker)[:64]
-    return cleaned or "worker"
-
-
-@dataclass(frozen=True)
-class Lease:
-    """A claimed task: the key/cell plus proof of ownership (the leased path).
-
-    A lease is only ever *advisory* ownership — it can expire and be
-    reassigned while the holder still computes. That is safe by construction:
-    results land in the content-addressed cache, so duplicated work produces
-    bit-identical payloads and :meth:`WorkQueue.ack` is idempotent per key.
-    """
-
-    key: str
-    attempts: int
-    deadline: float
-    worker: str
-    path: Path
-    task: dict
-
-    def cell(self) -> SweepCell:
-        """The sweep cell this task executes."""
-        data = self.task.get("cell")
-        if data is None:
-            raise QueueError(f"task {self.key[:12]} carries no sweep cell")
-        return SweepCell.from_dict(data)
-
-
-class WorkQueue:
+class WorkQueue(QueueBackend):
     """Crash-safe, file-backed task queue keyed on sweep cache keys.
 
     Args:
@@ -151,7 +158,9 @@ class WorkQueue:
         lease_timeout: Seconds before an unacked lease may be reclaimed.
         max_attempts: Lease attempts per task before it is parked in
             ``failed/``; ``None`` retries forever (property tests use this).
-        clock: Time source returning seconds (injectable for tests).
+        clock: Time source returning seconds (injectable for tests). Defaults
+            to the process-wide monotonic-with-epoch clock, so a wall-clock
+            step can never expire a healthy lease or stall reclaim.
     """
 
     def __init__(
@@ -159,7 +168,7 @@ class WorkQueue:
         root: str | Path | None = None,
         lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
         max_attempts: int | None = DEFAULT_MAX_ATTEMPTS,
-        clock: Callable[[], float] = time.time,
+        clock: Callable[[], float] | None = None,
     ):
         if lease_timeout <= 0:
             raise ConfigurationError(f"lease_timeout must be > 0, got {lease_timeout}")
@@ -168,7 +177,7 @@ class WorkQueue:
         self.root = Path(root) if root is not None else default_queue_root()
         self.lease_timeout = float(lease_timeout)
         self.max_attempts = max_attempts
-        self._clock = clock
+        self._clock = clock if clock is not None else default_clock()
         self._queued = self.root / "queued"
         self._leased = self.root / "leased"
         self._done = self.root / "done"
@@ -226,6 +235,12 @@ class WorkQueue:
                 match = regex.match(path.name)
                 if match:
                     keys.add(match["key"])
+                elif directory is self._leased:
+                    # Unparseable leases still pin their key (so producers
+                    # cannot re-create a task file for it mid-recovery).
+                    parsed = self._lease_key_loose(path)
+                    if parsed is not None:
+                        keys.add(parsed[0])
             elif path.suffix == ".json" and _KEY_RE.match(path.stem):
                 keys.add(path.stem)
         return keys
@@ -370,34 +385,9 @@ class WorkQueue:
         self._log("enqueue", **counts)
         return counts
 
-    def enqueue(
-        self,
-        cells: Iterable[SweepCell],
-        cache: ResultCache | None = None,
-        priority: str | None = None,
-    ) -> dict[str, int]:
-        """Enqueue sweep cells, deduplicated on cache key (warm cells done).
-
-        ``priority="slowest-first"`` additionally records each cell's
-        estimated cost (:func:`~repro.experiments.sweep.estimate_cell_cost`)
-        so consumers start the longest cells first, shortening the drain's
-        critical path when the last few cells would otherwise straggle.
-        """
-        if priority not in (None, "slowest-first"):
-            raise ConfigurationError(
-                f"unknown queue priority {priority!r}; expected 'slowest-first'"
-            )
-        distinct: dict[str, SweepCell] = {}
-        for cell in cells:
-            distinct.setdefault(cell.cache_key(), cell)
-        if priority == "slowest-first":
-            self.set_priorities(
-                {key: estimate_cell_cost(cell) for key, cell in distinct.items()}
-            )
-        warm = {key for key in distinct if cache is not None and cache.has(key)}
-        return self.enqueue_tasks(
-            ((key, {"cell": cell.to_dict()}) for key, cell in distinct.items()), warm=warm
-        )
+    # ``enqueue`` (cells → tasks, warm detection, priority recording) is
+    # inherited from :class:`QueueBackend` — it is pure orchestration over
+    # ``enqueue_tasks``/``set_priorities`` and identical for every backend.
 
     # -- consumer side ---------------------------------------------------------
 
@@ -411,7 +401,7 @@ class WorkQueue:
         deadline and worker id; a task whose attempt counter would exceed
         ``max_attempts`` is parked in ``failed/`` instead.
         """
-        worker = _sanitize_worker(worker or f"pid-{os.getpid()}")
+        worker = sanitize_worker_id(worker) if worker else default_worker_id()
         for path in self._drain_order(self._listdir(self._queued)):
             match = _QUEUED_RE.match(path.name)
             if match is None:
@@ -511,13 +501,57 @@ class WorkQueue:
         self._log("renew", key=lease.key, worker=lease.worker, attempts=lease.attempts)
         return replace(lease, path=target, deadline=deadline_us / 1e6)
 
+    def _lease_key_loose(self, path: Path) -> tuple[str, int] | None:
+        """Best-effort ``(key, attempts)`` of a lease file the strict regex
+        rejects — from a lenient filename parse first, falling back to the
+        task file's own ``key`` field. ``None`` marks a genuinely foreign
+        file that must never be touched."""
+        match = _LOOSE_LEASED_RE.match(path.name)
+        if match is not None:
+            return match["key"], int(match["attempts"])
+        if path.suffix != ".json":
+            return None
+        try:
+            entry = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        key = entry.get("key") if isinstance(entry, dict) else None
+        if isinstance(key, str) and _KEY_RE.match(key):
+            return key, 0
+        return None
+
     def requeue_stale(self, now: float | None = None) -> list[str]:
-        """Move every expired lease back to ``queued/`` (dead-worker recovery)."""
+        """Move every expired lease back to ``queued/`` (dead-worker recovery).
+
+        A lease file the strict regex cannot parse (e.g. a dotted-FQDN worker
+        id written by an older release) has no readable deadline, so it used
+        to be skipped forever — the task was never requeued and ``status``
+        undercounted. Such files are now treated as *stale immediately*: the
+        key/attempts are recovered leniently (filename first, task payload as
+        fallback) and the task is requeued, with a warning record in
+        ``events.jsonl``. Files that yield no key at all are foreign and stay
+        untouched.
+        """
         now = self._clock() if now is None else now
         requeued = []
         for path in self._listdir(self._leased):
             match = _LEASED_RE.match(path.name)
-            if match is None or int(match["deadline"]) / 1e6 > now:
+            if match is None:
+                parsed = self._lease_key_loose(path)
+                if parsed is None:
+                    continue  # foreign file; never touch it
+                key, attempts = parsed
+                target = self._queued / f"{key}.a{attempts}.json"
+                target.parent.mkdir(parents=True, exist_ok=True)
+                try:
+                    path.rename(target)
+                except FileNotFoundError:
+                    continue
+                self._log("requeue", key=key, attempts=attempts, warning=True,
+                          reason="unparseable-lease", lease_file=path.name)
+                requeued.append(key)
+                continue
+            if int(match["deadline"]) / 1e6 > now:
                 continue
             target = self._queued / f"{match['key']}.a{match['attempts']}.json"
             target.parent.mkdir(parents=True, exist_ok=True)
@@ -562,6 +596,14 @@ class WorkQueue:
                 record(match["key"], "leased")
                 if int(match["deadline"]) / 1e6 <= now:
                     stale += 1
+            else:
+                # An unparseable lease still holds a real task: count it as
+                # leased *and* stale (requeue_stale reclaims it immediately)
+                # instead of silently undercounting the queue.
+                parsed = self._lease_key_loose(path)
+                if parsed is not None:
+                    record(parsed[0], "leased")
+                    stale += 1
         for directory, state in ((self._failed, "failed"), (self._done, "done")):
             for path in self._listdir(directory):
                 if path.suffix == ".json" and _KEY_RE.match(path.stem):
@@ -583,21 +625,27 @@ class WorkQueue:
             "expected": expected,
         }
 
-    def pending(self) -> int:
-        """Tasks not yet completed or failed (queued + leased)."""
-        status = self.status()
-        return int(status["queued"]) + int(status["leased"])  # type: ignore[arg-type]
-
-    def drained(self) -> bool:
-        """True when every task reached ``done/`` or ``failed/``."""
-        return self.pending() == 0
-
     def clear(self) -> None:
         """Delete the queue directory (tasks, events log, everything)."""
         import shutil
 
         if self.root.exists():
             shutil.rmtree(self.root)
+
+    def log_event(self, event: str, **fields: object) -> None:
+        """Append an out-of-band record (e.g. a worker error) to the audit log."""
+        self._log(event, **fields)
+
+    def describe(self) -> str:
+        return str(self.root)
+
+    def connect_info(self) -> dict:
+        return {
+            "kind": "file",
+            "root": str(self.root),
+            "lease_timeout": self.lease_timeout,
+            "max_attempts": self.max_attempts,
+        }
 
 
 class LeaseHeartbeat:
@@ -645,8 +693,8 @@ class LeaseHeartbeat:
 
 
 def run_worker(
-    queue: WorkQueue,
-    cache: ResultCache,
+    queue: QueueBackend,
+    cache: ResultStore,
     worker_id: str | None = None,
     poll_interval: float = 0.05,
     heartbeat_interval: float | None = None,
@@ -664,7 +712,7 @@ def run_worker(
     ``max_attempts``) instead of killing the worker. Returns the number of
     cells this worker actually executed.
     """
-    worker_id = worker_id or f"pid-{os.getpid()}"
+    worker_id = sanitize_worker_id(worker_id) if worker_id else default_worker_id()
     fault_delay = float(os.environ.get(FAULT_DELAY_ENV, "0") or 0)
     executed = 0
     while True:
@@ -686,35 +734,43 @@ def run_worker(
                     executed += 1
             queue.ack(heartbeat.lease)
         except Exception as exc:  # noqa: BLE001 - fault isolation per task
-            queue._log("error", key=lease.key, worker=worker_id, error=repr(exc))
+            queue.log_event("error", key=lease.key, worker=worker_id, error=repr(exc))
             queue.release(heartbeat.lease)
 
 
 def _worker_main(
-    queue_root: str,
-    cache_root: str,
-    lease_timeout: float,
-    max_attempts: int | None,
+    queue_info: Mapping[str, object],
+    cache_info: Mapping[str, object],
     worker_id: str,
     poll_interval: float,
 ) -> None:
-    """Entry point of a :class:`QueueRunner` worker process."""
-    queue = WorkQueue(queue_root, lease_timeout=lease_timeout, max_attempts=max_attempts)
-    run_worker(queue, ResultCache(cache_root), worker_id=worker_id, poll_interval=poll_interval)
+    """Entry point of a :class:`QueueRunner` worker process.
+
+    Receives picklable connection descriptors instead of live objects, so the
+    same runner drives file-backed queues (reopen the directory) and HTTP
+    queues (reconnect to the server) identically.
+    """
+    run_worker(
+        backend_from_info(queue_info),
+        cache_from_info(cache_info),
+        worker_id=worker_id,
+        poll_interval=poll_interval,
+    )
 
 
 class QueueRunner:
-    """Drives N local worker processes over one :class:`WorkQueue`.
+    """Drives N local worker processes over one queue backend.
 
     This is the single-machine orchestration of the competing-consumer model
-    (``repro sweep --queue --workers N``); cross-machine deployments run
-    ``repro queue work`` processes against a shared queue directory instead.
+    (``repro sweep --queue --workers N``, or ``--queue-url`` for the HTTP
+    backend); cross-machine deployments run ``repro queue work`` processes
+    against a shared queue directory or a ``repro serve`` URL instead.
     """
 
     def __init__(
         self,
-        queue: WorkQueue,
-        cache: ResultCache,
+        queue: QueueBackend,
+        cache: ResultStore,
         workers: int = 1,
         poll_interval: float = 0.05,
     ):
@@ -753,15 +809,15 @@ class QueueRunner:
             pending = self.queue.pending()
             if pending == 0:
                 break
+            queue_info = self.queue.connect_info()
+            cache_info = self.cache.connect_info()
             processes = [
                 _MP.Process(
                     target=_worker_main,
                     args=(
-                        str(self.queue.root),
-                        str(self.cache.root),
-                        self.queue.lease_timeout,
-                        self.queue.max_attempts,
-                        f"qr{os.getpid()}-w{index}",
+                        queue_info,
+                        cache_info,
+                        sanitize_worker_id(f"qr{os.getpid()}-w{index}"),
                         self.poll_interval,
                     ),
                     daemon=True,
@@ -774,9 +830,9 @@ class QueueRunner:
                 process.join()
             self.queue.requeue_stale()
         status = self.queue.status()
-        if int(status["queued"]) + int(status["leased"]) > 0:  # type: ignore[arg-type]
+        if int(status["queued"]) + int(status["leased"]) > 0:  # type: ignore[call-overload]
             raise QueueError(
-                f"queue {self.queue.root} did not drain: "
+                f"queue {self.queue.describe()} did not drain: "
                 f"{status['queued']} queued, {status['leased']} leased"
             )
         failed = self.queue.failed_keys()
@@ -785,6 +841,6 @@ class QueueRunner:
         if failed:
             raise QueueError(
                 f"{len(failed)} cell(s) failed permanently after "
-                f"{self.queue.max_attempts} lease attempts; see "
-                f"{self.queue.root / 'failed'} and {self.queue.root / 'events.jsonl'}"
+                f"{self.queue.max_attempts} lease attempts; see the failed "
+                f"tasks and events log of queue {self.queue.describe()}"
             )

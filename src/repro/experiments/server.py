@@ -1,0 +1,408 @@
+"""``repro serve``: the HTTP service that owns a work queue and result cache.
+
+:class:`QueueServer` wraps the battle-tested file-backed machinery — a
+:class:`~repro.experiments.queue.WorkQueue` for task state and a
+:class:`~repro.experiments.cache.ResultCache` for results — behind a small
+JSON-over-HTTP API, so ``repro queue work --queue-url`` /
+``repro sweep --queue-url`` workers on other machines drain it without a
+shared filesystem. Embedding the file backend (rather than reimplementing
+queue state in memory) buys three properties for free:
+
+* **identical semantics** — the conformance suite proves the HTTP backend
+  behaves exactly like the file backend because, one network hop removed, it
+  *is* the file backend;
+* **crash safety** — queue state survives a server restart: tasks are still
+  one file each, moved by atomic renames, and a restarted server resumes
+  exactly where the old one stopped (workers retry transport errors' work
+  naturally, since leases expire and results are content-addressed);
+* **a single clock authority** — every deadline is computed by this process's
+  monotonic-with-epoch clock. Workers never do deadline arithmetic, so worker
+  wall-clock skew cannot double-lease a task, and ``requeue-stale`` requests
+  deliberately ignore any client-supplied timestamp.
+
+The HTTP layer is deliberately primitive: :mod:`asyncio` ``start_server``,
+hand-parsed HTTP/1.1 with ``Connection: close``, one JSON object per request
+and response — no third-party dependency. All queue/cache work happens
+synchronously between ``await`` points on the single event-loop thread, so
+every request is atomic with respect to every other: the server needs no
+locks beyond the ones the file layout already provides.
+
+Endpoints (all under ``/v1``): ``GET health``, ``POST queue/enqueue``,
+``POST queue/lease``, ``POST queue/ack|release|renew``,
+``POST queue/requeue-stale``, ``GET queue/status|events|failed``,
+``POST queue/priorities|log|clear``, ``POST cache/get|put|has``,
+``GET cache/stats``, ``POST cache/clear``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from pathlib import Path
+from typing import IO, Callable, Mapping
+
+from ..errors import ConfigurationError, QueueError, ReproError
+from .backend import Lease
+from .cache import ResultCache
+from .queue import DEFAULT_LEASE_TIMEOUT, DEFAULT_MAX_ATTEMPTS, WorkQueue
+
+__all__ = ["QueueServer", "serve"]
+
+#: Upper bound on a request body: an enqueue of a paper-scale grid or a large
+#: cached payload fits comfortably; anything bigger is a protocol error.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+_JSON_HEADERS = (
+    b"Content-Type: application/json\r\n"
+    b"Connection: close\r\n"
+)
+
+_REASONS = {200: b"OK", 400: b"Bad Request", 404: b"Not Found",
+            413: b"Payload Too Large", 500: b"Internal Server Error"}
+
+
+class _RequestError(Exception):
+    """A request the server refuses, carried as (status, error, kind)."""
+
+    def __init__(self, status: int, message: str, kind: str = "protocol"):
+        super().__init__(message)
+        self.status = status
+        self.kind = kind
+
+
+def _field(body: Mapping[str, object], name: str) -> object:
+    value = body.get(name)
+    if value is None:
+        raise _RequestError(400, f"missing required field {name!r}")
+    return value
+
+
+class QueueServer:
+    """Asyncio HTTP server owning one work queue and one result cache.
+
+    Args:
+        queue_dir: Directory for the embedded :class:`WorkQueue`.
+        cache_dir: Directory for the embedded :class:`ResultCache`.
+        host/port: Bind address; port 0 picks a free port (see :attr:`url`
+            after :meth:`start`).
+        lease_timeout/max_attempts: Queue configuration. These live on the
+            server *only* — clients mirror them via ``GET /v1/health``.
+        clock: Injectable deadline clock (tests); defaults to the process
+            monotonic-with-epoch clock. This clock is the single authority
+            for every deadline the service ever computes.
+    """
+
+    def __init__(
+        self,
+        queue_dir: str | Path | None,
+        cache_dir: str | Path | None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+        max_attempts: int | None = DEFAULT_MAX_ATTEMPTS,
+        clock: Callable[[], float] | None = None,
+    ):
+        self.queue = WorkQueue(
+            queue_dir, lease_timeout=lease_timeout, max_attempts=max_attempts, clock=clock
+        )
+        self.cache = ResultCache(cache_dir)
+        self.host = host
+        self.port = port
+        self._server: asyncio.base_events.Server | None = None
+        self._routes: dict[tuple[str, str], Callable[[dict], dict[str, object]]] = {
+            ("GET", "/v1/health"): self._health,
+            ("POST", "/v1/queue/enqueue"): self._enqueue,
+            ("POST", "/v1/queue/lease"): self._lease,
+            ("POST", "/v1/queue/ack"): self._ack,
+            ("POST", "/v1/queue/release"): self._release,
+            ("POST", "/v1/queue/renew"): self._renew,
+            ("POST", "/v1/queue/requeue-stale"): self._requeue_stale,
+            ("GET", "/v1/queue/status"): self._status,
+            ("GET", "/v1/queue/events"): self._events,
+            ("GET", "/v1/queue/failed"): self._failed,
+            ("POST", "/v1/queue/priorities"): self._priorities,
+            ("POST", "/v1/queue/log"): self._log,
+            ("POST", "/v1/queue/clear"): self._clear,
+            ("POST", "/v1/cache/get"): self._cache_get,
+            ("POST", "/v1/cache/put"): self._cache_put,
+            ("POST", "/v1/cache/has"): self._cache_has,
+            ("GET", "/v1/cache/stats"): self._cache_stats,
+            ("POST", "/v1/cache/clear"): self._cache_clear,
+        }
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def url(self) -> str:
+        """The server's base URL (final port known once :meth:`start` ran)."""
+        return f"http://{self.host}:{self.port}"
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (resolves port 0)."""
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = int(sockets[0].getsockname()[1])
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- HTTP plumbing ---------------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, payload = await self._respond(reader)
+            data = json.dumps(payload, sort_keys=True).encode("utf-8")
+            reason = _REASONS.get(status, b"Error")
+            head = (
+                b"HTTP/1.1 %d %s\r\n" % (status, reason)
+                + _JSON_HEADERS
+                + b"Content-Length: %d\r\n\r\n" % len(data)
+            )
+            writer.write(head + data)
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                pass
+
+    async def _respond(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[int, dict[str, object]]:
+        """Parse one HTTP/1.1 request and dispatch it; never raises."""
+        try:
+            request_line = await reader.readline()
+            parts = request_line.decode("latin-1").split()
+            if len(parts) != 3:
+                return 400, {"error": "malformed request line", "kind": "protocol"}
+            method, target = parts[0], parts[1].split("?", 1)[0]
+            length = 0
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                if name.strip().lower() == "content-length":
+                    try:
+                        length = int(value.strip())
+                    except ValueError:
+                        return 400, {"error": "bad Content-Length", "kind": "protocol"}
+            if length > MAX_BODY_BYTES:
+                return 413, {"error": "request body too large", "kind": "protocol"}
+            raw = await reader.readexactly(length) if length else b""
+        except (asyncio.IncompleteReadError, UnicodeDecodeError):
+            return 400, {"error": "truncated request", "kind": "protocol"}
+        return self._dispatch(method, target, raw)
+
+    def _dispatch(self, method: str, target: str, raw: bytes) -> tuple[int, dict[str, object]]:
+        """Route one request. Runs synchronously on the event-loop thread, so
+        each request is atomic with respect to every other."""
+        handler = self._routes.get((method, target))
+        if handler is None:
+            return 404, {"error": f"no route {method} {target}", "kind": "protocol"}
+        if raw:
+            try:
+                body = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                return 400, {"error": "request body is not valid JSON", "kind": "protocol"}
+            if not isinstance(body, dict):
+                return 400, {"error": "request body must be a JSON object", "kind": "protocol"}
+        else:
+            body = {}
+        try:
+            return 200, handler(body)
+        except _RequestError as exc:
+            return exc.status, {"error": str(exc), "kind": exc.kind}
+        except ConfigurationError as exc:
+            return 400, {"error": str(exc), "kind": "configuration"}
+        except QueueError as exc:
+            return 400, {"error": str(exc), "kind": "queue"}
+        except ReproError as exc:  # pragma: no cover - defensive
+            return 400, {"error": str(exc), "kind": "queue"}
+        except Exception as exc:  # noqa: BLE001 - one bad request must not kill the service
+            return 500, {"error": f"internal error: {exc!r}", "kind": "internal"}
+
+    # -- lease reconstruction --------------------------------------------------
+
+    def _lease_from_body(self, body: Mapping[str, object]) -> Lease:
+        """Rebuild a Lease from the client's ownership token.
+
+        ``name`` is the leased *filename* the server handed out; it must stay
+        a single path component (a crafted token must not escape ``leased/``).
+        The deadline/task fields are not needed by ack/release/renew, so they
+        are filled with placeholders.
+        """
+        name = str(_field(body, "name"))
+        if "/" in name or "\\" in name or name != Path(name).name or name in (".", ".."):
+            raise _RequestError(400, f"invalid lease token {name!r}")
+        return Lease(
+            key=str(_field(body, "key")),
+            attempts=int(_field(body, "attempts")),  # type: ignore[call-overload]
+            deadline=0.0,
+            worker=str(_field(body, "worker")),
+            path=self.queue._leased / name,
+            task={},
+        )
+
+    @staticmethod
+    def _lease_to_wire(lease: Lease) -> dict[str, object]:
+        return {
+            "key": lease.key,
+            "attempts": lease.attempts,
+            "deadline": lease.deadline,
+            "worker": lease.worker,
+            "name": lease.path.name,
+            "task": lease.task,
+        }
+
+    # -- handlers --------------------------------------------------------------
+
+    def _health(self, body: dict) -> dict[str, object]:
+        return {
+            "ok": True,
+            "lease_timeout": self.queue.lease_timeout,
+            "max_attempts": self.queue.max_attempts,
+            "queue": str(self.queue.root),
+            "cache": str(self.cache.root),
+        }
+
+    def _enqueue(self, body: dict) -> dict[str, object]:
+        raw_tasks = _field(body, "tasks")
+        if not isinstance(raw_tasks, list):
+            raise _RequestError(400, "tasks must be a list of [key, task] pairs")
+        tasks: list[tuple[str, dict]] = []
+        for item in raw_tasks:
+            if not (isinstance(item, list) and len(item) == 2 and isinstance(item[1], dict)):
+                raise _RequestError(400, "tasks must be a list of [key, task] pairs")
+            tasks.append((str(item[0]), item[1]))
+        raw_warm = body.get("warm", [])
+        if not isinstance(raw_warm, list):
+            raise _RequestError(400, "warm must be a list of keys")
+        counts = self.queue.enqueue_tasks(tasks, warm={str(key) for key in raw_warm})
+        return dict(counts)
+
+    def _lease(self, body: dict) -> dict[str, object]:
+        raw_worker = body.get("worker")
+        lease = self.queue.lease(str(raw_worker) if raw_worker else None)
+        return {"lease": None if lease is None else self._lease_to_wire(lease)}
+
+    def _ack(self, body: dict) -> dict[str, object]:
+        return {"ok": self.queue.ack(self._lease_from_body(body))}
+
+    def _release(self, body: dict) -> dict[str, object]:
+        return {"ok": self.queue.release(self._lease_from_body(body))}
+
+    def _renew(self, body: dict) -> dict[str, object]:
+        lease = self.queue.renew(self._lease_from_body(body))
+        return {"lease": None if lease is None else self._lease_to_wire(lease)}
+
+    def _requeue_stale(self, body: dict) -> dict[str, object]:
+        # Deliberately ignores any client-supplied "now": only this process's
+        # clock decides staleness, so worker clock skew cannot reclaim a
+        # healthy lease.
+        return {"requeued": self.queue.requeue_stale()}
+
+    def _status(self, body: dict) -> dict[str, object]:
+        return self.queue.status()
+
+    def _events(self, body: dict) -> dict[str, object]:
+        return {"events": self.queue.events()}
+
+    def _failed(self, body: dict) -> dict[str, object]:
+        return {"failed": sorted(self.queue.failed_keys())}
+
+    def _priorities(self, body: dict) -> dict[str, object]:
+        costs = _field(body, "costs")
+        if not isinstance(costs, dict):
+            raise _RequestError(400, "costs must be an object of key → cost")
+        self.queue.set_priorities(
+            {str(key): float(cost) for key, cost in costs.items()}
+        )
+        return {"ok": True}
+
+    def _log(self, body: dict) -> dict[str, object]:
+        fields = body.get("fields", {})
+        if not isinstance(fields, dict):
+            raise _RequestError(400, "fields must be an object")
+        self.queue.log_event(str(_field(body, "event")), **fields)
+        return {"ok": True}
+
+    def _clear(self, body: dict) -> dict[str, object]:
+        self.queue.clear()
+        return {"ok": True}
+
+    def _cache_get(self, body: dict) -> dict[str, object]:
+        return {"payload": self.cache.get(str(_field(body, "key")))}
+
+    def _cache_put(self, body: dict) -> dict[str, object]:
+        payload = _field(body, "payload")
+        if not isinstance(payload, dict):
+            raise _RequestError(400, "payload must be an object")
+        cell = body.get("cell")
+        self.cache.put(
+            str(_field(body, "key")), payload, cell=cell if isinstance(cell, dict) else None
+        )
+        return {"ok": True}
+
+    def _cache_has(self, body: dict) -> dict[str, object]:
+        return {"has": self.cache.has(str(_field(body, "key")))}
+
+    def _cache_stats(self, body: dict) -> dict[str, object]:
+        return self.cache.stats()
+
+    def _cache_clear(self, body: dict) -> dict[str, object]:
+        return {"removed": self.cache.clear()}
+
+
+def serve(
+    queue_dir: str | Path | None,
+    cache_dir: str | Path | None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+    max_attempts: int | None = DEFAULT_MAX_ATTEMPTS,
+    stream: IO[str] | None = None,
+) -> None:
+    """Run a :class:`QueueServer` until interrupted (the ``repro serve`` CLI).
+
+    Prints the bound URL (important with ``port=0``) before blocking, so
+    scripts can scrape it; a SIGINT/KeyboardInterrupt shuts down cleanly.
+    """
+    server = QueueServer(
+        queue_dir,
+        cache_dir,
+        host=host,
+        port=port,
+        lease_timeout=lease_timeout,
+        max_attempts=max_attempts,
+    )
+
+    async def _run() -> None:
+        await server.start()
+        if stream is not None:
+            stream.write(f"repro serve listening on {server.url}\n")
+            stream.write(f"  queue: {server.queue.root}\n")
+            stream.write(f"  cache: {server.cache.root}\n")
+            stream.flush()
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass

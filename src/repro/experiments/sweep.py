@@ -11,11 +11,14 @@ profiling-error) cells. This module turns that grid into data:
 * :class:`SweepSpec` — a named, ordered collection of cells with a grid
   constructor for cartesian-product sweeps;
 * :class:`SweepRunner` — executes a spec serially, over a
-  ``ProcessPoolExecutor``, or (with ``queue_dir`` set) through the
-  file-backed :class:`~repro.experiments.queue.WorkQueue` of competing
-  consumers; it deduplicates identical cells, serves repeats from a
-  :class:`~repro.experiments.cache.ResultCache`, and always returns results
-  in spec order so parallel, queued and serial runs are indistinguishable.
+  ``ProcessPoolExecutor``, or through a work queue of competing consumers
+  (``queue_dir`` for the file-backed
+  :class:`~repro.experiments.queue.WorkQueue`, ``queue_url`` for the
+  HTTP-backed :class:`~repro.experiments.http_queue.HttpWorkQueue` speaking
+  to a ``repro serve`` process); it deduplicates identical cells, serves
+  repeats from a :class:`~repro.experiments.cache.ResultCache`, and always
+  returns results in spec order so parallel, queued and serial runs are
+  indistinguishable.
 
 Workers build workloads through :func:`~repro.experiments.harness.build_workload`,
 whose per-process memo means consecutive cells that share a workload profile
@@ -46,6 +49,7 @@ from .harness import build_workload, canonicalize_cell_fields, default_config
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..api import Scenario
+    from .backend import ResultStore
 
 
 @dataclass(frozen=True)
@@ -466,17 +470,40 @@ class SweepRunner:
             lease/ack semantics, dead-worker requeue). Results are read back
             from the cache, so queue runs are bit-identical to serial ones.
             Requires ``cache``.
+        queue_url: Like ``queue_dir``, but the queue lives behind a
+            ``repro serve`` HTTP service at this URL. When no ``cache`` is
+            given, results are read/written through the *server's* cache
+            (an :class:`~repro.experiments.http_queue.HttpResultCache`).
+            Mutually exclusive with ``queue_dir``.
         lease_timeout: Queue-mode lease timeout in seconds (how long a dead
-            worker's cells stay stranded before reclaim).
+            worker's cells stay stranded before reclaim). File backend only:
+            over HTTP the server is the single authority for lease timing.
     """
 
     def __init__(
         self,
         jobs: int | None = None,
-        cache: ResultCache | None = None,
+        cache: "ResultCache | ResultStore | None" = None,
         queue_dir: str | Path | None = None,
+        queue_url: str | None = None,
         lease_timeout: float | None = None,
     ):
+        if queue_dir is not None and queue_url is not None:
+            raise ConfigurationError(
+                "queue_dir and queue_url are mutually exclusive: a sweep "
+                "drains either a local queue directory or a queue server"
+            )
+        if queue_url is not None and lease_timeout is not None:
+            raise ConfigurationError(
+                "lease_timeout cannot be set for an HTTP queue: the server "
+                "is the single authority for lease timing (configure it on "
+                "repro serve)"
+            )
+        if queue_url is not None and cache is None:
+            # Results travel through the server's cache; no local cache needed.
+            from .http_queue import HttpResultCache
+
+            cache = HttpResultCache(queue_url)
         if queue_dir is not None and cache is None:
             raise ConfigurationError(
                 "queue-mode execution requires a result cache "
@@ -485,6 +512,7 @@ class SweepRunner:
         self.jobs = jobs
         self.cache = cache
         self.queue_dir = Path(queue_dir) if queue_dir is not None else None
+        self.queue_url = queue_url
         self.lease_timeout = lease_timeout
         #: (hits, executed) counters of the most recent :meth:`run`.
         self.last_stats: dict[str, int] = {"cells": 0, "cache_hits": 0, "executed": 0}
@@ -557,7 +585,7 @@ class SweepRunner:
                 miss_cells.append(cell)
 
         if miss_cells:
-            if self.queue_dir is not None:
+            if self.queue_dir is not None or self.queue_url is not None:
                 # Queue mode: competing consumers drain the cells dynamically
                 # and publish payloads through the cache (already persisted).
                 for key, payload in zip(miss_order, self._queue_execute(miss_cells)):
@@ -595,11 +623,18 @@ class SweepRunner:
         Deferred import: :mod:`~repro.experiments.queue` imports this module
         for :class:`SweepCell`/:func:`execute_cell`.
         """
+        from .backend import QueueBackend
         from .queue import DEFAULT_LEASE_TIMEOUT, QueueRunner, WorkQueue
 
-        queue = WorkQueue(
-            self.queue_dir, lease_timeout=self.lease_timeout or DEFAULT_LEASE_TIMEOUT
-        )
+        queue: QueueBackend
+        if self.queue_url is not None:
+            from .http_queue import HttpWorkQueue
+
+            queue = HttpWorkQueue(self.queue_url)
+        else:
+            queue = WorkQueue(
+                self.queue_dir, lease_timeout=self.lease_timeout or DEFAULT_LEASE_TIMEOUT
+            )
         QueueRunner(queue, self.cache, workers=self.jobs or 1).run(cells)
         payloads, missing = [], []
         for cell in cells:
@@ -609,8 +644,9 @@ class SweepRunner:
             else:
                 payloads.append(payload)
         if missing:
+            where = getattr(self.cache, "root", None) or getattr(self.cache, "url", "?")
             raise QueueError(
-                f"queue drained but the cache at {self.cache.root} is missing "
+                f"queue drained but the cache at {where} is missing "
                 f"{len(missing)} result(s): {', '.join(missing)}"
             )
         return payloads

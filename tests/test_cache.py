@@ -161,6 +161,47 @@ class TestTempFileHygiene:
         assert not cache.root.exists()
         assert cache.stats()["stale_tmp"] == 0
 
+    def test_current_naming_leak_from_killed_put_is_reported_and_swept(self, tmp_path):
+        """Regression: ``stats``/``clear`` stale-tmp detection must track the
+        *current* ``<key>.tmp.<pid>.<n>`` temp naming. After the concurrency
+        fix widened temp names, a detector still globbing the old ``*.tmp``
+        spelling would silently stop reporting leaks from killed writers."""
+        cache = ResultCache(tmp_path / "c")
+        cache.put("ab12cd", {"v": 1})
+        # A put() SIGKILLed between write and rename leaves exactly the file
+        # _tmp_path names — build it with the real helper so this test follows
+        # any future renaming of the scheme.
+        target = cache.path_for("fe99aa")
+        leaked = _tmp_path(target)
+        leaked.parent.mkdir(parents=True, exist_ok=True)
+        leaked.write_text('{"schema": 1, "payload": {"half": ', encoding="utf-8")
+        assert leaked.name.startswith("fe99aa.tmp.")
+
+        stats = cache.stats()
+        assert stats["entries"] == 1  # the leak is never counted as an entry
+        assert stats["stale_tmp"] == 1
+        assert stats["stale_tmp_bytes"] == leaked.stat().st_size
+        assert cache.get("fe99aa") is None and not cache.has("fe99aa")
+
+        assert cache.clear() == 1
+        assert not leaked.exists()
+        assert cache.stats() == {
+            "root": str(cache.root), "entries": 0, "bytes": 0,
+            "stale_tmp": 0, "stale_tmp_bytes": 0,
+        }
+
+    def test_merge_from_skips_stale_temp_files(self, tmp_path):
+        shard = ResultCache(tmp_path / "shard")
+        shard.put("ab12cd", {"v": 1})
+        leaked = _tmp_path(shard.path_for("fe99aa"))
+        leaked.parent.mkdir(parents=True, exist_ok=True)
+        leaked.write_text("{torn", encoding="utf-8")
+
+        combined = ResultCache(tmp_path / "combined")
+        assert combined.merge_from(shard) == 1
+        assert combined.get("ab12cd") == {"v": 1}
+        assert combined.stats()["stale_tmp"] == 0
+
     def test_stale_temp_file_never_shadows_an_entry(self, tmp_path):
         cache = ResultCache(tmp_path / "c")
         path = cache.path_for("ab12cd")

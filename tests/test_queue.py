@@ -289,6 +289,96 @@ class TestWorkQueueTransitions:
             queue.lease("w0").cell()  # task carries no cell payload
 
 
+class TestWorkerIdsAndLeaseRecovery:
+    """The two PR 7 lease bugs: dotted worker ids producing lease filenames the
+    strict regex could never parse (so the task was stranded and status
+    undercounted), and unparseable lease files being skipped forever."""
+
+    def test_sanitize_worker_id_flattens_fqdns(self):
+        from repro.experiments import sanitize_worker_id
+
+        assert sanitize_worker_id("node1.cluster.local") == "node1-cluster-local"
+        assert sanitize_worker_id("plain_worker-3") == "plain_worker-3"
+        assert sanitize_worker_id("a b/c:d") == "a-b-c-d"
+        assert sanitize_worker_id("") == "worker"
+        assert sanitize_worker_id("...") == "---"  # dashes are lease-safe
+        assert len(sanitize_worker_id("x" * 200)) == 64
+
+    def test_default_worker_id_is_lease_safe(self):
+        import re
+
+        from repro.experiments import default_worker_id
+
+        assert re.fullmatch(r"[A-Za-z0-9_-]{1,64}", default_worker_id())
+
+    def test_dotted_worker_id_yields_a_strictly_parseable_lease(self, tmp_path):
+        queue, clock = make_queue(tmp_path / "q", timeout=1.0)
+        queue.enqueue_tasks([(KEYS[0], {"cell": None})])
+        lease = queue.lease("node1.cluster.example.com-90210")
+        assert lease.worker == "node1-cluster-example-com-90210"
+        assert states_per_key(queue) == {KEYS[0]: ["leased"]}  # strict regexes
+        clock.advance(2.0)
+        assert queue.requeue_stale() == [KEYS[0]]  # reclaimable, not stranded
+
+    def test_unparseable_lease_counts_as_leased_and_stale(self, tmp_path):
+        queue, _ = make_queue(tmp_path / "q", timeout=1.0)
+        queue.enqueue_tasks([(KEYS[0], {"cell": None})])
+        lease = queue.lease("w0")
+        # Simulate a lease written by a pre-sanitization release: a dotted
+        # worker id the strict regex rejects.
+        bad = lease.path.with_name(f"{KEYS[0]}.a1.d999999999.wfqdn.host.json")
+        lease.path.rename(bad)
+        status = queue.status()
+        assert status["leased"] == 1 and status["stale"] == 1
+        assert status["total"] == status["expected"] == 1
+
+    def test_unparseable_lease_is_requeued_with_a_warning_event(self, tmp_path):
+        queue, _ = make_queue(tmp_path / "q", timeout=1.0)
+        queue.enqueue_tasks([(KEYS[0], {"cell": None})])
+        lease = queue.lease("w0")
+        bad = lease.path.with_name(f"{KEYS[0]}.a1.d999999999.wfqdn.host.json")
+        lease.path.rename(bad)
+
+        assert queue.requeue_stale() == [KEYS[0]]  # stale *immediately*
+        warnings = [e for e in queue.events() if e.get("warning")]
+        assert len(warnings) == 1
+        assert warnings[0]["event"] == "requeue"
+        assert warnings[0]["reason"] == "unparseable-lease"
+        assert warnings[0]["lease_file"] == bad.name
+
+        # The attempt counter survives the lenient filename parse.
+        revived = queue.lease("w1")
+        assert revived.key == KEYS[0] and revived.attempts == 2
+        assert queue.ack(revived)
+        assert queue.drained()
+
+    def test_mangled_lease_name_recovers_key_from_the_task_payload(self, tmp_path):
+        queue, _ = make_queue(tmp_path / "q", timeout=1.0)
+        queue.enqueue_tasks([(KEYS[0], {"cell": None})])
+        lease = queue.lease("w0")
+        # Even the lenient filename parse fails here; only the JSON payload's
+        # own ``key`` field identifies the task.
+        bad = lease.path.with_name("mangled-by-an-operator.json")
+        lease.path.rename(bad)
+
+        assert queue.status()["leased"] == 1  # payload fallback, not undercount
+        assert queue.requeue_stale() == [KEYS[0]]
+        revived = queue.lease("w1")
+        assert revived.key == KEYS[0] and revived.attempts == 1  # counter reset
+
+    def test_foreign_files_in_leased_are_never_requeued(self, tmp_path):
+        queue, _ = make_queue(tmp_path / "q", timeout=1.0)
+        (queue.root / "leased").mkdir(parents=True)
+        foreign_txt = queue.root / "leased" / "NOTES.txt"
+        foreign_txt.write_text("operator scratch space")
+        foreign_json = queue.root / "leased" / "metrics.json"
+        foreign_json.write_text(json.dumps({"latency_ms": 12}))
+
+        assert queue.requeue_stale() == []
+        assert foreign_txt.exists() and foreign_json.exists()
+        assert queue.status()["total"] == 0
+
+
 # -- property suite ------------------------------------------------------------
 
 operations = st.lists(

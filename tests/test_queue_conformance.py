@@ -1,0 +1,528 @@
+"""Backend-conformance suite: file and HTTP queues are interchangeable.
+
+Every test in :class:`TestBackendConformance` runs twice — once against the
+file-backed :class:`WorkQueue` and once against an :class:`HttpWorkQueue`
+speaking to a real in-process ``repro serve`` server — via one fixture
+parameterization. The suite pins the *contract* of
+:class:`repro.experiments.backend.QueueBackend` (idempotent enqueue,
+deterministic drain order, lease/ack/release/renew/requeue semantics,
+attempt budgets, event auditing), so any future backend can prove itself by
+running here.
+
+The HTTP harness starts a genuine :class:`QueueServer` (asyncio, background
+thread, OS-assigned port) with an injected clock, so tests advance the
+*server's* authority clock directly and inspect the server's queue directory
+as filesystem ground truth. :class:`TestHttpAuthority` covers the semantics
+that only exist over HTTP: the server being the single clock authority (a
+skew-clocked client cannot force a requeue) and the SIGKILL-mid-HTTP-lease
+drain staying bit-identical to a serial run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, QueueConnectionError, QueueError
+from repro.experiments import (
+    HttpResultCache,
+    HttpWorkQueue,
+    QueueRunner,
+    QueueServer,
+    SweepRunner,
+    SweepSpec,
+    WorkQueue,
+    jsonify,
+)
+from tests.test_queue import KEYS, FakeClock, states_per_key
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Three fast ci-scale simulation cells (one workload, three policies).
+SPEC = SweepSpec.grid(
+    "queue-conformance", models=("bert",), policies=("ideal", "base_uvm", "g10"), scale="ci"
+)
+
+
+class BackendHarness:
+    """One backend under test: the client-facing queue, the authority clock,
+    and the server-side :class:`WorkQueue` used as filesystem ground truth
+    (for the file backend the queue *is* the ground truth)."""
+
+    def __init__(self, queue, clock, authority, close=None):
+        self.queue = queue
+        self.clock = clock
+        self.authority = authority
+        self._close = close
+        self._closed = False
+
+    def close(self) -> None:
+        if not self._closed and self._close is not None:
+            self._close()
+        self._closed = True
+
+
+def _start_http(root: Path, timeout: float, max_attempts: int | None) -> BackendHarness:
+    clock = FakeClock()
+    server = QueueServer(
+        root / "q", root / "c", port=0,
+        lease_timeout=timeout, max_attempts=max_attempts, clock=clock,
+    )
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    asyncio.run_coroutine_threadsafe(server.start(), loop).result(timeout=10)
+
+    def close() -> None:
+        asyncio.run_coroutine_threadsafe(server.stop(), loop).result(timeout=10)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10)
+
+    return BackendHarness(HttpWorkQueue(server.url), clock, server.queue, close)
+
+
+@pytest.fixture(params=["file", "http"])
+def make_backend(request, tmp_path):
+    """Factory building a fresh backend (+ its authority clock) per call."""
+    counter = itertools.count()
+    harnesses: list[BackendHarness] = []
+
+    def build(timeout: float = 1.0, max_attempts: int | None = 5) -> BackendHarness:
+        root = tmp_path / f"b{next(counter)}"
+        if request.param == "file":
+            clock = FakeClock()
+            queue = WorkQueue(
+                root / "q", lease_timeout=timeout, max_attempts=max_attempts, clock=clock
+            )
+            harness = BackendHarness(queue, clock, queue)
+        else:
+            harness = _start_http(root, timeout, max_attempts)
+        harnesses.append(harness)
+        return harness
+
+    yield build
+    for harness in harnesses:
+        harness.close()
+
+
+class TestBackendConformance:
+    def test_config_mirrors_the_authority(self, make_backend):
+        h = make_backend(timeout=7.0, max_attempts=3)
+        assert h.queue.lease_timeout == 7.0
+        assert h.queue.max_attempts == 3
+
+    def test_enqueue_lease_ack_lifecycle(self, make_backend):
+        h = make_backend()
+        counts = h.queue.enqueue_tasks((key, {"cell": None}) for key in KEYS[:3])
+        assert counts == {"queued": 3, "warm": 0, "retried": 0, "skipped": 0}
+        assert h.queue.status()["queued"] == 3 and h.queue.pending() == 3
+
+        lease = h.queue.lease("w0")
+        assert lease.key == KEYS[0]  # deterministic key-sorted drain order
+        assert lease.attempts == 1 and lease.worker == "w0"
+        assert h.queue.status()["leased"] == 1
+
+        assert h.queue.ack(lease)
+        status = h.queue.status()
+        assert status["done"] == 1 and status["queued"] == 2 and status["leased"] == 0
+        assert status["total"] == status["expected"] == 3
+        assert not h.queue.drained()
+
+    def test_lease_drains_in_deterministic_key_order_then_none(self, make_backend):
+        h = make_backend()
+        h.queue.enqueue_tasks((key, {"cell": None}) for key in reversed(KEYS))
+        leased = [h.queue.lease(f"w{i}").key for i in range(len(KEYS))]
+        assert leased == sorted(KEYS)
+        assert h.queue.lease("late") is None
+
+    def test_enqueue_is_idempotent(self, make_backend):
+        h = make_backend()
+        h.queue.enqueue_tasks([(KEYS[0], {"cell": None})])
+        h.queue.ack(h.queue.lease("w0"))
+        h.queue.enqueue_tasks([(KEYS[0], {"cell": None}), (KEYS[1], {"cell": None})])
+        status = h.queue.status()
+        assert status["done"] == 1 and status["queued"] == 1 and status["total"] == 2
+
+    def test_warm_keys_are_recorded_as_done(self, make_backend):
+        h = make_backend()
+        counts = h.queue.enqueue_tasks(
+            ((key, {"cell": None}) for key in KEYS[:2]), warm={KEYS[0]}
+        )
+        assert counts == {"queued": 1, "warm": 1, "retried": 0, "skipped": 0}
+        status = h.queue.status()
+        assert status["done"] == 1 and status["queued"] == 1 and status["total"] == 2
+
+    def test_ack_is_idempotent(self, make_backend):
+        h = make_backend()
+        h.queue.enqueue_tasks([(KEYS[0], {"cell": None})])
+        lease = h.queue.lease("w0")
+        assert h.queue.ack(lease)
+        assert h.queue.ack(lease)  # second ack: key already done, still True
+        assert h.queue.status()["done"] == 1
+
+    def test_release_keeps_the_attempt_counter(self, make_backend):
+        h = make_backend()
+        h.queue.enqueue_tasks([(KEYS[0], {"cell": None})])
+        assert h.queue.release(h.queue.lease("w0"))
+        second = h.queue.lease("w1")
+        assert second.key == KEYS[0] and second.attempts == 2
+
+    def test_requeue_stale_honours_the_authority_deadline(self, make_backend):
+        h = make_backend(timeout=1.0)
+        h.queue.enqueue_tasks([(KEYS[0], {"cell": None})])
+        h.queue.lease("dying-worker")
+        h.clock.advance(0.5)
+        assert h.queue.requeue_stale() == []  # still within its lease
+        h.clock.advance(0.6)
+        assert h.queue.requeue_stale() == [KEYS[0]]
+        status = h.queue.status()
+        assert status["queued"] == 1 and status["leased"] == 0
+        assert h.queue.lease("rescuer").attempts == 2
+
+    def test_ack_after_expiry_reclaims_from_queued(self, make_backend):
+        h = make_backend(timeout=1.0)
+        h.queue.enqueue_tasks([(KEYS[0], {"cell": None})])
+        lease = h.queue.lease("slow-worker")
+        h.clock.advance(2.0)
+        assert h.queue.requeue_stale() == [KEYS[0]]
+        assert h.queue.ack(lease)  # lease token is gone, but ack reclaims the task
+        status = h.queue.status()
+        assert status["done"] == 1 and status["queued"] == 0 and status["total"] == 1
+
+    def test_ack_after_reassignment_defers_to_the_new_holder(self, make_backend):
+        h = make_backend(timeout=1.0)
+        h.queue.enqueue_tasks([(KEYS[0], {"cell": None})])
+        stale = h.queue.lease("slow-worker")
+        h.clock.advance(2.0)
+        h.queue.requeue_stale()
+        fresh = h.queue.lease("rescuer")
+        assert not h.queue.ack(stale)  # the rescuer owns it now
+        assert h.queue.status()["leased"] == 1
+        assert h.queue.ack(fresh)
+        assert h.queue.status()["done"] == 1
+
+    def test_renew_extends_a_live_lease(self, make_backend):
+        h = make_backend(timeout=1.0)
+        h.queue.enqueue_tasks([(KEYS[0], {"cell": None})])
+        lease = h.queue.lease("w0")
+        h.clock.advance(0.8)
+        renewed = h.queue.renew(lease)
+        assert renewed is not None and renewed.deadline > lease.deadline
+        h.clock.advance(0.5)  # 1.3s after the original lease, 0.5s after renewal
+        assert h.queue.requeue_stale() == []
+        h.clock.advance(0.6)
+        assert h.queue.requeue_stale() == [KEYS[0]]
+        assert h.queue.renew(renewed) is None
+
+    def test_attempts_cap_parks_the_task_as_failed(self, make_backend):
+        h = make_backend(max_attempts=2)
+        h.queue.enqueue_tasks([(KEYS[0], {"cell": None})])
+        for _ in range(2):
+            h.queue.release(h.queue.lease("w0"))
+        assert h.queue.lease("w0") is None
+        status = h.queue.status()
+        assert status["failed"] == 1 and status["queued"] == 0 and status["total"] == 1
+        assert h.queue.failed_keys() == {KEYS[0]}
+        assert h.queue.drained()
+
+    def test_reenqueue_retries_a_failed_task_with_a_fresh_budget(self, make_backend):
+        h = make_backend(max_attempts=1)
+        h.queue.enqueue_tasks([(KEYS[0], {"cell": None})])
+        h.queue.release(h.queue.lease("w0"))
+        assert h.queue.lease("w0") is None
+        assert h.queue.failed_keys() == {KEYS[0]}
+
+        counts = h.queue.enqueue_tasks([(KEYS[0], {"cell": None})])
+        assert counts == {"queued": 0, "warm": 0, "retried": 1, "skipped": 0}
+        lease = h.queue.lease("w1")
+        assert lease.key == KEYS[0] and lease.attempts == 1  # budget reset
+        assert h.queue.ack(lease)
+
+    def test_slowest_first_priorities_order_the_drain(self, make_backend):
+        h = make_backend()
+        h.queue.set_priorities({KEYS[0]: 1.0, KEYS[1]: 5.0, KEYS[2]: 3.0})
+        h.queue.enqueue_tasks((key, {"cell": None}) for key in KEYS[:3])
+        drained = [h.queue.lease(f"w{i}").key for i in range(3)]
+        assert drained == [KEYS[1], KEYS[2], KEYS[0]]  # costliest first
+
+    def test_events_audit_every_transition(self, make_backend):
+        h = make_backend(timeout=1.0)
+        h.queue.enqueue_tasks([(KEYS[0], {"cell": None})])
+        h.queue.release(h.queue.lease("w0"))
+        h.queue.lease("w0")
+        h.clock.advance(2.0)
+        h.queue.requeue_stale()
+        h.queue.ack(h.queue.lease("w1"))
+        h.queue.log_event("error", key=KEYS[0], worker="w1", error="probe")
+        kinds = [event["event"] for event in h.queue.events()]
+        assert kinds == [
+            "enqueue", "lease", "release", "lease", "requeue", "lease", "ack", "error",
+        ]
+
+    def test_worker_ids_are_sanitized_into_parseable_leases(self, make_backend):
+        """A dotted FQDN worker id must still produce a lease the authority
+        can parse back (the PR 4 regex rejected dots, stranding the task)."""
+        h = make_backend()
+        h.queue.enqueue_tasks([(KEYS[0], {"cell": None})])
+        lease = h.queue.lease("node1.cluster.example.com-90210")
+        assert "." not in lease.worker
+        # Filesystem ground truth: the leased file parses with the *strict*
+        # regex, so requeue/status machinery fully understands it.
+        assert states_per_key(h.authority) == {KEYS[0]: ["leased"]}
+
+    def test_key_validation_propagates(self, make_backend):
+        h = make_backend()
+        with pytest.raises(ConfigurationError):
+            h.queue.enqueue_tasks([("NOT-HEX!", {"cell": None})])
+
+    def test_clear_removes_everything(self, make_backend):
+        h = make_backend()
+        h.queue.enqueue_tasks([(KEYS[0], {"cell": None})])
+        h.queue.clear()
+        assert h.queue.status()["total"] == 0
+
+    def test_connect_info_round_trips(self, make_backend):
+        from repro.experiments import backend_from_info
+
+        h = make_backend(timeout=9.0)
+        h.queue.enqueue_tasks([(KEYS[0], {"cell": None})])
+        rebuilt = backend_from_info(h.queue.connect_info())
+        assert type(rebuilt) is type(h.queue)
+        assert rebuilt.status()["queued"] == 1
+        assert rebuilt.lease_timeout == 9.0
+
+
+# -- property suite over both backends ----------------------------------------
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("enqueue"), st.integers(0, len(KEYS) - 1)),
+        st.tuples(st.just("lease"), st.integers(0, 2)),
+        st.tuples(st.just("ack"), st.integers(0, 7)),
+        st.tuples(st.just("release"), st.integers(0, 7)),
+        st.tuples(st.just("advance"), st.integers(1, 30)),  # tenths of a second
+        st.tuples(st.just("requeue"), st.just(0)),
+    ),
+    max_size=25,
+)
+
+#: Reduced example count versus tests/test_queue.py: each HTTP example runs a
+#: real server and dozens of round trips; the file backend already gets the
+#: full-size sweep in its own suite.
+relaxed = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+class TestBackendProperties:
+    """The PR 4 interleaving invariants, parameterized over both backends: no
+    cell is ever lost, no cache key holds two task files (double completion is
+    structurally impossible), done is sticky, the queue drains to empty."""
+
+    @relaxed
+    @given(ops=operations)
+    def test_interleavings_preserve_task_conservation_and_drain(self, make_backend, ops):
+        h = make_backend(timeout=1.0, max_attempts=None)
+        try:
+            enqueued: set[str] = set()
+            completed: set[str] = set()
+            leases = []
+
+            def check_invariants():
+                found = states_per_key(h.authority)
+                assert set(found) == enqueued
+                for key, states in found.items():
+                    assert len(states) == 1, f"{key} duplicated across {states}"
+                for key in completed:
+                    assert found[key] == ["done"]
+
+            for op, arg in ops:
+                if op == "enqueue":
+                    h.queue.enqueue_tasks([(KEYS[arg], {"cell": None})])
+                    enqueued.add(KEYS[arg])
+                elif op == "lease":
+                    lease = h.queue.lease(f"w{arg}")
+                    if lease is not None:
+                        leases.append(lease)
+                elif op == "ack" and leases:
+                    lease = leases.pop(arg % len(leases))
+                    if h.queue.ack(lease):
+                        completed.add(lease.key)
+                elif op == "release" and leases:
+                    h.queue.release(leases.pop(arg % len(leases)))
+                elif op == "advance":
+                    h.clock.advance(arg / 10)
+                elif op == "requeue":
+                    h.queue.requeue_stale()
+                check_invariants()
+
+            for _ in range(10 * len(KEYS) + 10):
+                if h.queue.drained():
+                    break
+                lease = h.queue.lease("drain")
+                if lease is None:
+                    h.clock.advance(2.0)
+                    h.queue.requeue_stale()
+                    continue
+                assert h.queue.ack(lease)
+                completed.add(lease.key)
+                check_invariants()
+
+            assert h.queue.drained()
+            status = h.queue.status()
+            assert status["done"] == status["total"] == len(enqueued)
+            assert status["queued"] == status["leased"] == status["failed"] == 0
+        finally:
+            h.close()
+
+
+# -- HTTP-only semantics -------------------------------------------------------
+
+def spawn_http_worker(url: str, *, fault_delay: float, worker_id: str) -> subprocess.Popen:
+    """Start a ``repro queue work --queue-url`` consumer as an operator would."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    env["REPRO_QUEUE_FAULT_DELAY"] = str(fault_delay)
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "queue", "work",
+            "--queue-url", url, "--worker-id", worker_id,
+        ],
+        env=env,
+        cwd=REPO_ROOT,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def wait_for(predicate, timeout: float = 120.0, interval: float = 0.05) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise AssertionError("condition not reached before timeout")
+
+
+class TestHttpAuthority:
+    def test_skewed_client_clock_cannot_double_lease(self, tmp_path):
+        """Only the server's clock decides staleness: a client whose wall
+        clock runs arbitrarily fast must not be able to reclaim (and thereby
+        double-lease) a healthy peer's lease."""
+        h = _start_http(tmp_path, timeout=300.0, max_attempts=5)
+        try:
+            h.queue.enqueue_tasks([(KEYS[0], {"cell": None})])
+            held = h.queue.lease("healthy-worker")
+            assert held is not None
+            # A skewed client would pass its own (far-future) idea of "now";
+            # the HTTP backend ignores it and defers to the server.
+            assert h.queue.requeue_stale(now=time.time() + 10_000.0) == []
+            assert h.queue.status()["leased"] == 1
+            assert h.queue.lease("skewed-rival") is None  # nothing to steal
+            # When the *server's* clock really does pass the deadline, the
+            # same call reclaims the lease.
+            h.clock.advance(301.0)
+            assert h.queue.requeue_stale() == [KEYS[0]]
+        finally:
+            h.close()
+
+    def test_transport_failure_is_a_distinct_error(self, tmp_path):
+        dead = HttpWorkQueue("http://127.0.0.1:9")  # discard port; nothing listens
+        with pytest.raises(QueueConnectionError):
+            dead.status()
+        with pytest.raises(ConfigurationError):
+            HttpWorkQueue("not-a-url")
+
+    def test_sigkilled_http_worker_drain_stays_bit_identical_to_serial(self, tmp_path):
+        """The tentpole acceptance test: a worker leases a cell over HTTP and
+        is SIGKILLed mid-lease; the server requeues it after expiry and the
+        surviving HTTP workers drain the grid to results bit-identical to a
+        serial run — all without any shared filesystem."""
+        serial = SweepRunner(cache=None).run(SPEC)
+        reference = json.dumps(jsonify([out.payload for out in serial]), sort_keys=True)
+
+        h = _start_http(tmp_path, timeout=5.0, max_attempts=5)
+        try:
+            cache = HttpResultCache(h.queue.url)
+            counts = h.queue.enqueue(SPEC.cells, cache=cache)
+            assert counts["queued"] == 3
+
+            victim = spawn_http_worker(h.queue.url, fault_delay=120.0, worker_id="victim")
+            try:
+                wait_for(lambda: h.queue.status()["leased"] >= 1)
+            finally:
+                os.kill(victim.pid, signal.SIGKILL)
+                victim.wait(timeout=30)
+
+            status = h.queue.status()
+            assert status["leased"] == 1 and status["done"] == 0 and status["queued"] == 2
+            assert cache.stats()["entries"] == 0
+
+            # Expire the victim's lease on the *server's* clock and reclaim it
+            # through the client (the server ignores client-side timestamps).
+            h.clock.advance(6.0)
+            requeued = h.queue.requeue_stale()
+            assert requeued == [min(cell.cache_key() for cell in SPEC.cells)]
+
+            # Surviving workers drain over HTTP; results go to the server cache.
+            QueueRunner(h.queue, cache, workers=2).drain()
+            status = h.queue.status()
+            assert status["done"] == status["total"] == 3
+            assert status["queued"] == status["leased"] == status["failed"] == 0
+
+            events = h.queue.events()
+            assert any(e["event"] == "lease" and e["worker"] == "victim" for e in events)
+            assert any(e["event"] == "requeue" and e["worker"] == "victim" for e in events)
+            acked = [e["key"] for e in events if e["event"] == "ack"]
+            assert sorted(acked) == sorted({cell.cache_key() for cell in SPEC.cells})
+
+            # Acceptance: payloads read back over HTTP equal the serial run,
+            # bit for bit.
+            payloads = [cache.get(cell.cache_key()) for cell in SPEC.cells]
+            assert all(payload is not None for payload in payloads)
+            actual = json.dumps(jsonify(payloads), sort_keys=True)
+            assert actual == reference
+        finally:
+            h.close()
+
+    def test_sweep_runner_queue_url_mode_is_bit_identical_to_serial(self, tmp_path):
+        """``repro sweep --queue-url`` end to end: results land in the server's
+        cache and the returned payloads match a serial run exactly."""
+        serial = SweepRunner(cache=None).run(SPEC)
+        reference = json.dumps(jsonify([out.payload for out in serial]), sort_keys=True)
+
+        h = _start_http(tmp_path, timeout=60.0, max_attempts=5)
+        try:
+            runner = SweepRunner(jobs=2, queue_url=h.queue.url)
+            queued = runner.run(SPEC)
+            assert runner.last_stats["executed"] == 3
+            actual = json.dumps(jsonify([out.payload for out in queued]), sort_keys=True)
+            assert actual == reference
+
+            # A second run is a pure server-cache resume.
+            resumed = SweepRunner(jobs=2, queue_url=h.queue.url).run(SPEC)
+            assert json.dumps(jsonify([out.payload for out in resumed]), sort_keys=True) == reference
+        finally:
+            h.close()
+
+    def test_mutually_exclusive_runner_configuration(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            SweepRunner(queue_dir=tmp_path / "q", queue_url="http://127.0.0.1:1")
+        with pytest.raises(ConfigurationError):
+            SweepRunner(queue_url="http://127.0.0.1:1", lease_timeout=5.0)
