@@ -71,7 +71,7 @@ from .sim import (
 )
 from ._compat import build_workload, make_policy, run_policies, run_policy, run_simulation
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "GB",

@@ -1,0 +1,223 @@
+"""Conservative project call graph for the interprocedural lint rules.
+
+Built on the :class:`~repro.analysis.symbols.SymbolTable`, this resolves
+every syntactic call inside every project function to one of:
+
+* a **project edge** — the callee is a project function/method, found through
+  module-level names, import aliases (plain, ``from``-imports and re-exports
+  through ``__init__``), ``self.method()``/``cls.method()`` with method
+  resolution over project base classes, ``ClassName(...)`` constructors
+  (edge to ``__init__``), ``self.attr.method()`` where ``attr`` was assigned
+  a constructor call, and ``local.method()`` where ``local = ClassName(...)``
+  earlier in the same function;
+* an **external edge** — the target resolves to a dotted name outside the
+  project (``time.time``, ``json.dumps``); kept because taint analyses seed
+  from them;
+* nothing — dynamic dispatch (registry lookups, callbacks, untyped
+  attributes) produces no edge. The graph therefore *under*-approximates the
+  true call relation: analyses built on it can miss dynamically-routed paths
+  (documented per rule) but never report a path that cannot exist.
+
+The only users are the ``--project`` rules in :mod:`repro.analysis.dataflow`;
+the graph is rebuilt per lint run (sub-second over the whole tree).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from .lint.framework import dotted_name
+from .symbols import ClassSymbol, FunctionSymbol, ModuleSymbols, SymbolTable
+
+__all__ = ["CallEdge", "CallGraph"]
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """One resolved call site: ``caller`` invokes ``callee`` at ``line``."""
+
+    caller: str  #: caller function id (``"module.py::qual"``)
+    callee: str  #: project function id, or external dotted name
+    external: bool
+    line: int
+    col: int
+
+    def describe(self) -> str:
+        """Human-readable hop for finding evidence chains."""
+        caller_module, _, caller_qual = self.caller.partition("::")
+        target = f"{self.callee}()" if self.external else self.callee
+        return f"{caller_module}:{self.line} {caller_qual} -> {target}"
+
+
+class CallGraph:
+    """Forward and reverse adjacency over every project function."""
+
+    def __init__(self, table: SymbolTable) -> None:
+        self.table = table
+        self.edges_from: dict[str, list[CallEdge]] = {}
+        self.edges_to: dict[str, list[CallEdge]] = {}
+        for function in table.functions.values():
+            self._build_function(function)
+
+    @classmethod
+    def build(cls, table: SymbolTable) -> "CallGraph":
+        return cls(table)
+
+    # -- queries ---------------------------------------------------------------
+
+    def calls_from(self, fid: str) -> list[CallEdge]:
+        return self.edges_from.get(fid, [])
+
+    def calls_to(self, fid: str) -> list[CallEdge]:
+        return self.edges_to.get(fid, [])
+
+    def project_edges(self) -> Iterator[CallEdge]:
+        for edges in self.edges_from.values():
+            for edge in edges:
+                if not edge.external:
+                    yield edge
+
+    def external_edges(self) -> Iterator[CallEdge]:
+        for edges in self.edges_from.values():
+            for edge in edges:
+                if edge.external:
+                    yield edge
+
+    # -- construction ----------------------------------------------------------
+
+    def _build_function(self, function: FunctionSymbol) -> None:
+        module = self.table.modules[function.module]
+        klass = module.classes.get(function.cls) if function.cls else None
+        local_types = _local_constructor_types(function.node, module, self.table)
+        edges: list[CallEdge] = []
+        for node in ast.walk(function.node):
+            if not isinstance(node, ast.Call):
+                continue
+            edge = self._resolve_call(node, function, module, klass, local_types)
+            if edge is not None:
+                edges.append(edge)
+        self.edges_from[function.fid] = edges
+        for edge in edges:
+            if not edge.external:
+                self.edges_to.setdefault(edge.callee, []).append(edge)
+
+    def _resolve_call(
+        self,
+        node: ast.Call,
+        function: FunctionSymbol,
+        module: ModuleSymbols,
+        klass: ClassSymbol | None,
+        local_types: dict[str, str],
+    ) -> CallEdge | None:
+        func = node.func
+
+        def project(callee: FunctionSymbol) -> CallEdge:
+            return CallEdge(
+                caller=function.fid,
+                callee=callee.fid,
+                external=False,
+                line=node.lineno,
+                col=node.col_offset,
+            )
+
+        def external(target: str) -> CallEdge:
+            return CallEdge(
+                caller=function.fid,
+                callee=target,
+                external=True,
+                line=node.lineno,
+                col=node.col_offset,
+            )
+
+        # self.method(...) / cls.method(...) and self.attr.method(...)
+        if isinstance(func, ast.Attribute):
+            receiver = func.value
+            if (
+                klass is not None
+                and isinstance(receiver, ast.Name)
+                and receiver.id in ("self", "cls")
+            ):
+                method = self.table.resolve_method(klass, func.attr)
+                return project(method) if method is not None else None
+            if (
+                klass is not None
+                and isinstance(receiver, ast.Attribute)
+                and isinstance(receiver.value, ast.Name)
+                and receiver.value.id in ("self", "cls")
+            ):
+                attr_cid = klass.attr_types.get(receiver.attr)
+                attr_class = self.table.classes.get(attr_cid) if attr_cid else None
+                if attr_class is not None:
+                    method = self.table.resolve_method(attr_class, func.attr)
+                    return project(method) if method is not None else None
+                return None
+            if isinstance(receiver, ast.Name) and receiver.id in local_types:
+                local_class = self.table.classes.get(local_types[receiver.id])
+                if local_class is not None:
+                    method = self.table.resolve_method(local_class, func.attr)
+                    return project(method) if method is not None else None
+                return None
+
+        # Bare names bind to the current module's own functions/classes first
+        # (shadowed by imports, which the alias map records).
+        if isinstance(func, ast.Name) and func.id not in module.aliases:
+            local_fn = module.functions.get(func.id)
+            if local_fn is not None:
+                return project(local_fn)
+            local_cls = module.classes.get(func.id)
+            if local_cls is not None:
+                init = self.table.resolve_method(local_cls, "__init__")
+                return project(init) if init is not None else None
+
+        dotted = dotted_name(func, module.aliases)
+        if dotted is None:
+            return None
+        resolved = self.table.resolve_dotted(dotted, module.path)
+        if resolved is None:
+            # Dotted externals ("time.time") are kept for taint seeding.
+            # Unqualified unknown names (builtins like "sorted", locals, and
+            # parameters) and leading-dot relative paths that failed to
+            # resolve are neither project nor meaningfully external: no edge.
+            if dotted.startswith(".") or "." not in dotted:
+                return None
+            return external(dotted)
+        kind, symbol = resolved
+        if kind == "function":
+            return project(symbol)  # type: ignore[arg-type]
+        if kind == "class":
+            init = self.table.resolve_method(symbol, "__init__")  # type: ignore[arg-type]
+            return project(init) if init is not None else None
+        return None
+
+
+def _local_constructor_types(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+    module: ModuleSymbols,
+    table: SymbolTable,
+) -> dict[str, str]:
+    """Local name → class id, for ``x = ClassName(...)`` assignments.
+
+    Last assignment wins (source order); re-binding a name to anything that
+    is not a recognizable constructor clears it.
+    """
+    types: dict[str, str] = {}
+    for stmt in ast.walk(node):
+        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+            continue
+        target = stmt.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        constructed: str | None = None
+        if isinstance(stmt.value, ast.Call):
+            dotted = dotted_name(stmt.value.func, module.aliases)
+            if dotted is not None:
+                resolved = table.resolve_dotted(dotted, module.path)
+                if resolved is not None and resolved[0] == "class":
+                    constructed = resolved[1].cid  # type: ignore[union-attr]
+        if constructed is not None:
+            types[target.id] = constructed
+        else:
+            types.pop(target.id, None)
+    return types

@@ -14,15 +14,21 @@ The public surface:
 
 from .framework import (
     DETERMINISTIC_LAYERS,
+    ERROR_CODES,
     LINT_REGISTRY,
     PARSE_ERROR_CODE,
+    UNREADABLE_CODE,
     Baseline,
     LintFinding,
     LintRule,
     ModuleSource,
+    ProjectRule,
     active_rules,
+    dotted_name,
+    import_aliases,
     iter_python_files,
     lint_paths,
+    lint_project_sources,
     lint_source,
     package_path_of,
     register_rule,
@@ -30,15 +36,21 @@ from .framework import (
 
 __all__ = [
     "DETERMINISTIC_LAYERS",
+    "ERROR_CODES",
     "LINT_REGISTRY",
     "PARSE_ERROR_CODE",
+    "UNREADABLE_CODE",
     "Baseline",
     "LintFinding",
     "LintRule",
     "ModuleSource",
+    "ProjectRule",
     "active_rules",
+    "dotted_name",
+    "import_aliases",
     "iter_python_files",
     "lint_paths",
+    "lint_project_sources",
     "lint_source",
     "package_path_of",
     "register_rule",

@@ -48,7 +48,7 @@ import re
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterable, Iterator, Sequence
+from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from ...errors import LintError
 from ...registry import Registry
@@ -62,6 +62,17 @@ DETERMINISTIC_LAYERS: tuple[str, ...] = (
 #: Rule code reserved for files the linter cannot parse (always emitted,
 #: never selectable or suppressible).
 PARSE_ERROR_CODE = "E001"
+
+#: Rule code reserved for paths the linter cannot read at all: a missing
+#: file/directory, a directory containing no Python files, or an unreadable
+#: file. Like :data:`PARSE_ERROR_CODE` these are *analysis errors*, not rule
+#: findings — they can be neither suppressed nor baselined, and the CLI exits
+#: 2 (analysis incomplete) instead of 1 (violations found) when any appear.
+UNREADABLE_CODE = "E002"
+
+#: Codes that mean "the analysis could not complete", as opposed to "the
+#: analysis found a violation".
+ERROR_CODES: tuple[str, ...] = (PARSE_ERROR_CODE, UNREADABLE_CODE)
 
 _SUPPRESS_RE = re.compile(r"repro-lint:\s*disable=([A-Za-z0-9_*,\s]+?)(?:\s*--.*)?$")
 _ANNOTATION_RE = re.compile(r"repro-lint:\s*([a-z][a-z0-9-]*)(?:\s*--.*)?$")
@@ -83,7 +94,14 @@ def package_path_of(path: Path) -> str:
 
 @dataclass(frozen=True)
 class LintFinding:
-    """One rule violation at one source location."""
+    """One rule violation at one source location.
+
+    Interprocedural rules additionally carry ``evidence``: the call chain (or
+    read/await/write sequence) proving the finding, one human-readable hop per
+    entry, ending at the root cause. Evidence is diagnostic only — it is not
+    part of the :attr:`fingerprint`, so a finding's baseline identity survives
+    refactors that merely reroute the chain.
+    """
 
     rule: str
     path: str
@@ -92,6 +110,7 @@ class LintFinding:
     col: int
     message: str
     snippet: str
+    evidence: tuple[str, ...] = ()
 
     @property
     def fingerprint(self) -> str:
@@ -113,6 +132,7 @@ class LintFinding:
             "message": self.message,
             "snippet": self.snippet,
             "fingerprint": self.fingerprint,
+            "evidence": list(self.evidence),
         }
 
     def render(self) -> str:
@@ -194,6 +214,52 @@ class ModuleSource:
         return ""
 
 
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Local name -> imported dotted path, for resolving call targets.
+
+    ``import time as _time`` maps ``_time`` to ``time``; ``from time import
+    perf_counter as pc`` maps ``pc`` to ``time.perf_counter``; a bare
+    ``import numpy.random`` maps ``numpy`` to ``numpy``. Relative imports are
+    kept with their leading dots (``from ._compat import x`` maps ``x`` to
+    ``._compat.x``). The walk covers function-level imports too — the map is
+    module-wide, a deliberate (conservative) flattening.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                if name.asname:
+                    aliases[name.asname] = name.name
+                else:
+                    root = name.name.split(".")[0]
+                    aliases[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            module = "." * node.level + (node.module or "")
+            for name in node.names:
+                if name.name == "*":
+                    continue
+                bound = name.asname or name.name
+                aliases[bound] = f"{module}.{name.name}" if module else name.name
+    return aliases
+
+
+def dotted_name(node: ast.expr, aliases: Mapping[str, str]) -> str | None:
+    """The resolved dotted path of a Name/Attribute chain, or ``None``.
+
+    ``_time.perf_counter`` under ``import time as _time`` resolves to
+    ``"time.perf_counter"``.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    base = aliases.get(node.id, node.id)
+    parts.append(base)
+    return ".".join(reversed(parts))
+
+
 def _collect_comments(text: str) -> dict[int, str]:
     comments: dict[int, str] = {}
     try:
@@ -261,6 +327,35 @@ class LintRule(ast.NodeVisitor):
         return findings
 
 
+class ProjectRule(LintRule):
+    """Base class for interprocedural rules needing whole-program context.
+
+    A project rule sees the entire lint run at once — every parsed module,
+    the project symbol table and the call graph — instead of one module at a
+    time, so it can follow a value across files (``DET005``), order events
+    inside one function against shared state (``ASY001``), or intersect
+    propagated raise-sets with except-handlers (``EXC001``). Because its
+    verdicts depend on files *not* currently being edited, it only activates
+    under ``repro lint --project`` (selecting one explicitly without
+    ``--project`` is an error: a partial file list would silently weaken the
+    analysis).
+
+    Subclasses implement :meth:`check_project` and receive a
+    :class:`repro.analysis.dataflow.ProjectContext`; they report through
+    ``context.finding(...)``, which applies the same inline-suppression and
+    fingerprint semantics as per-module rules. ``applies_to`` is pinned
+    ``False`` so the per-module pass skips project rules entirely.
+    """
+
+    project_only = True
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        return False
+
+    def check_project(self, project: Any) -> list[LintFinding]:
+        raise NotImplementedError  # pragma: no cover - interface
+
+
 #: Open registry of lint rules. Rule classes self-register on import of
 #: :mod:`repro.analysis.lint.rules` (the bootstrap); plugins add their own
 #: through ``@register_rule("XYZ123", title=..., rationale=...)``.
@@ -324,31 +419,139 @@ def lint_modules(
     return findings
 
 
+def _split_rules(
+    rules: Sequence[LintRule],
+    select: Iterable[str] | None,
+    project: bool,
+) -> tuple[list[LintRule], list[LintRule]]:
+    """Partition into (per-module, project) rules, policing ``--project``.
+
+    Explicitly selecting an interprocedural rule without project mode is an
+    error — running DET005 over two files out of eighty would silently miss
+    every cross-module path and report a false clean. With no explicit
+    selection the project rules are just skipped outside project mode.
+    """
+    module_rules = [r for r in rules if not getattr(r, "project_only", False)]
+    project_rules = [r for r in rules if getattr(r, "project_only", False)]
+    if not project:
+        if select is not None and project_rules:
+            names = ", ".join(r.code for r in project_rules)
+            raise LintError(
+                f"rule(s) {names} are interprocedural and need whole-program "
+                "context; re-run with --project"
+            )
+        return module_rules, []
+    return module_rules, project_rules
+
+
+def _collect_files(
+    paths: Sequence[Path | str],
+) -> tuple[list[Path], list[LintFinding]]:
+    """Expand paths to .py files; unusable paths become ``E002`` findings."""
+    files: list[Path] = []
+    errors: list[LintFinding] = []
+    seen = set()
+
+    def error(path: Path, message: str) -> None:
+        errors.append(
+            LintFinding(
+                rule=UNREADABLE_CODE,
+                path=str(path),
+                package_path=package_path_of(path),
+                line=1,
+                col=0,
+                message=message,
+                snippet="",
+            )
+        )
+
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates = sorted(
+                p for p in path.rglob("*.py") if "__pycache__" not in p.parts
+            )
+            if not candidates:
+                error(path, "directory contains no Python files")
+        elif path.exists():
+            candidates = [path]
+        else:
+            error(path, "no such file or directory")
+            continue
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                files.append(candidate)
+    return files, errors
+
+
+def _parse_error(path: Path, exc: SyntaxError) -> LintFinding:
+    return LintFinding(
+        rule=PARSE_ERROR_CODE,
+        path=str(path),
+        package_path=package_path_of(path),
+        line=exc.lineno or 1,
+        col=(exc.offset or 1) - 1,
+        message=f"cannot parse file: {exc.msg}",
+        snippet=(exc.text or "").strip(),
+    )
+
+
+def _lint_project(
+    modules: Sequence[ModuleSource], rules: Sequence[LintRule]
+) -> list[LintFinding]:
+    """Run the interprocedural rules over the whole parsed module set."""
+    if not rules:
+        return []
+    from ..dataflow import ProjectContext  # deferred: dataflow imports this module
+
+    context = ProjectContext.build(modules)
+    findings: list[LintFinding] = []
+    for rule in rules:
+        findings.extend(rule.check_project(context))
+    return findings
+
+
 def lint_paths(
     paths: Sequence[Path | str],
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
+    project: bool = False,
 ) -> list[LintFinding]:
-    """Lint files/directories; parse failures become :data:`PARSE_ERROR_CODE`."""
-    rules = active_rules(select, ignore)
+    """Lint files/directories.
+
+    Parse failures become :data:`PARSE_ERROR_CODE` findings and unusable
+    paths become :data:`UNREADABLE_CODE` findings — structured output rather
+    than exceptions, so CI artifacts capture them alongside rule findings.
+    With ``project=True`` the interprocedural rules (DET005/ASY001/EXC001 and
+    any registered :class:`ProjectRule`) also run, over a symbol table and
+    call graph built from *all* the given files.
+    """
+    module_rules, project_rules = _split_rules(
+        active_rules(select, ignore), select, project
+    )
+    files, error_findings = _collect_files(paths)
     modules: list[ModuleSource] = []
-    parse_failures: list[LintFinding] = []
-    for path in iter_python_files(paths):
+    for path in files:
         try:
             modules.append(ModuleSource.parse(path))
         except SyntaxError as exc:
-            parse_failures.append(
+            error_findings.append(_parse_error(path, exc))
+        except (OSError, UnicodeDecodeError) as exc:
+            error_findings.append(
                 LintFinding(
-                    rule=PARSE_ERROR_CODE,
+                    rule=UNREADABLE_CODE,
                     path=str(path),
                     package_path=package_path_of(path),
-                    line=exc.lineno or 1,
-                    col=(exc.offset or 1) - 1,
-                    message=f"cannot parse file: {exc.msg}",
-                    snippet=(exc.text or "").strip(),
+                    line=1,
+                    col=0,
+                    message=f"cannot read file: {exc}",
+                    snippet="",
                 )
             )
-    findings = lint_modules(modules, rules) + parse_failures
+    findings = lint_modules(modules, module_rules)
+    findings += _lint_project(modules, project_rules)
+    findings += error_findings
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
 
@@ -367,7 +570,33 @@ def lint_source(
     module = ModuleSource.parse(
         Path(package_path), text=text, package_path=package_path
     )
-    return lint_modules([module], active_rules(select, ignore))
+    module_rules, _ = _split_rules(active_rules(select, ignore), select, project=False)
+    return lint_modules([module], module_rules)
+
+
+def lint_project_sources(
+    sources: Sequence[tuple[str, str]],
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[LintFinding]:
+    """Lint a set of in-memory modules in project mode.
+
+    ``sources`` is ``[(package_path, text), ...]`` — the fixture entry point
+    for interprocedural rules, letting tests assemble a miniature project
+    ("sim/engine.py calls a helper in experiments/helper.py") without
+    touching disk. Per-module rules run too, exactly as ``--project`` does.
+    """
+    modules = [
+        ModuleSource.parse(Path(package_path), text=text, package_path=package_path)
+        for package_path, text in sources
+    ]
+    module_rules, project_rules = _split_rules(
+        active_rules(select, ignore), select, project=True
+    )
+    findings = lint_modules(modules, module_rules)
+    findings += _lint_project(modules, project_rules)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
 
 
 # -- baseline -----------------------------------------------------------------

@@ -27,53 +27,12 @@ from .framework import (
     DETERMINISTIC_LAYERS,
     LintRule,
     ModuleSource,
+    dotted_name,
+    import_aliases,
     register_rule,
 )
 
-
-def import_aliases(tree: ast.Module) -> dict[str, str]:
-    """Local name -> imported dotted path, for resolving call targets.
-
-    ``import time as _time`` maps ``_time`` to ``time``; ``from time import
-    perf_counter as pc`` maps ``pc`` to ``time.perf_counter``; a bare
-    ``import numpy.random`` maps ``numpy`` to ``numpy``. Relative imports are
-    kept with their leading dots (``from ._compat import x`` maps ``x`` to
-    ``._compat.x``).
-    """
-    aliases: dict[str, str] = {}
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for name in node.names:
-                if name.asname:
-                    aliases[name.asname] = name.name
-                else:
-                    root = name.name.split(".")[0]
-                    aliases[root] = root
-        elif isinstance(node, ast.ImportFrom):
-            module = "." * node.level + (node.module or "")
-            for name in node.names:
-                if name.name == "*":
-                    continue
-                bound = name.asname or name.name
-                aliases[bound] = f"{module}.{name.name}" if module else name.name
-    return aliases
-
-
-def dotted_name(node: ast.expr, aliases: Mapping[str, str]) -> str | None:
-    """The resolved dotted path of a Name/Attribute chain, or ``None``.
-
-    ``_time.perf_counter`` under ``import time as _time`` resolves to
-    ``"time.perf_counter"``.
-    """
-    parts: list[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if not isinstance(node, ast.Name):
-        return None
-    base = aliases.get(node.id, node.id)
-    parts.append(base)
-    return ".".join(reversed(parts))
+__all__ = ["dotted_name", "import_aliases"]  # re-exported for compatibility
 
 
 @register_rule(
@@ -139,29 +98,96 @@ class NoEntropyRule(LintRule):
         "sim/executor.py": frozenset({"time.perf_counter"}),
     }
 
+    #: Modules whose ``from X import *`` would smuggle banned callables in as
+    #: bare names; a star import of one expands the alias map with every
+    #: banned member so ``from time import *; time()`` still resolves.
+    STAR_MODULES = frozenset({"time", "datetime", "os", "uuid", "random"})
+
+    @classmethod
+    def matches(cls, dotted: str) -> bool:
+        """Whether a resolved dotted path names a banned entropy source.
+
+        Shared with the interprocedural DET005 rule, which seeds its taint
+        from exactly this predicate applied to call-graph externals.
+        """
+        if dotted in cls.BANNED:
+            return True
+        if dotted.startswith("random.") and dotted.split(".", 1)[1] in cls.RANDOM_FUNCS:
+            return True
+        return dotted.startswith("numpy.random.") or dotted.startswith("np.random.")
+
     def applies_to(self, module: ModuleSource) -> bool:
         return module.in_layers(DETERMINISTIC_LAYERS)
 
     def begin(self, module: ModuleSource) -> None:
         self._aliases = import_aliases(module.tree)
+        self._expand_star_imports(module.tree)
         self._allowed = self.ALLOWLIST.get(module.package_path, frozenset())
+        # AST nodes hash by identity, so the set members are the func nodes
+        # themselves (an id()-keyed set would trip DET002).
+        self._call_funcs = {
+            call.func for call in ast.walk(module.tree) if isinstance(call, ast.Call)
+        }
+
+    def _expand_star_imports(self, tree: ast.Module) -> None:
+        starred = {
+            node.module
+            for node in ast.walk(tree)
+            if isinstance(node, ast.ImportFrom)
+            and node.level == 0
+            and node.module in self.STAR_MODULES
+            and any(alias.name == "*" for alias in node.names)
+        }
+        if not starred:
+            return
+        expanded: dict[str, str] = {}
+        for dotted in self.BANNED:
+            head, _, rest = dotted.partition(".")
+            if head in starred and rest:
+                member = rest.split(".")[0]
+                expanded.setdefault(member, f"{head}.{member}")
+        if "random" in starred:
+            for name in self.RANDOM_FUNCS:
+                expanded.setdefault(name, f"random.{name}")
+        # Explicit imports win over the star expansion.
+        self._aliases = {**expanded, **self._aliases}
 
     def visit_Call(self, node: ast.Call) -> None:
         name = dotted_name(node.func, self._aliases)
-        if name is not None and name not in self._allowed:
-            offence = None
-            if name in self.BANNED:
-                offence = name
-            elif name.startswith("random.") and name.split(".", 1)[1] in self.RANDOM_FUNCS:
-                offence = name
-            elif name.startswith("numpy.random.") or name.startswith("np.random."):
-                offence = name
-            if offence is not None:
-                self.report(
-                    node,
-                    f"call to {offence}() in a deterministic layer; the simulated "
-                    "clock and seeded generators are the only allowed sources",
-                )
+        if name is not None and name not in self._allowed and self.matches(name):
+            self.report(
+                node,
+                f"call to {name}() in a deterministic layer; the simulated "
+                "clock and seeded generators are the only allowed sources",
+            )
+        self.generic_visit(node)
+
+    def _check_reference(self, node: ast.expr) -> None:
+        """Flag a banned callable captured as a value rather than called.
+
+        ``clock = time.time`` (or passing ``time`` from a from-import as a
+        callback) injects the entropy source just as surely as calling it —
+        deferred by one hop.
+        """
+        if node in self._call_funcs:
+            return  # the call form is visit_Call's report
+        name = dotted_name(node, self._aliases)
+        if name is not None and name not in self._allowed and self.matches(name):
+            self.report(
+                node,
+                f"reference to {name} captured without a call; storing the "
+                "callable still routes wall-clock/entropy into a "
+                "deterministic layer",
+            )
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self._check_reference(node)
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self._check_reference(node)
         self.generic_visit(node)
 
 
@@ -541,3 +567,10 @@ class NoCompatImportRule(LintRule):
         ):
             self.report(node, self.MESSAGE)
         self.generic_visit(node)
+
+
+# The interprocedural rules (DET005/ASY001/EXC001) live in
+# repro.analysis.dataflow and register themselves on import; pulling the
+# module in here makes registry bootstrap (which imports this module) load
+# them too, so `repro lint --list`/`--project` see the full rule set.
+from .. import dataflow  # noqa: E402,F401

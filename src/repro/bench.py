@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
 
+from .errors import ConfigurationError
 from .experiments.harness import build_workload, run_policy
 
 #: Benchmark-format version (bump when the payload layout changes).
@@ -103,7 +104,7 @@ def bench_cells(quick: bool = False) -> tuple[BenchCell, ...]:
 def time_cell(cell: BenchCell, repeats: int = 3) -> dict:
     """Time one cell: build (untimed), warm once, report the min of ``repeats``."""
     if repeats < 1:
-        raise ValueError(f"repeats must be >= 1, got {repeats}")
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
     workload = build_workload(cell.model, batch_size=cell.batch_size, scale=cell.scale)
     result = run_policy(workload, cell.policy)  # warm-up, also checked below
     samples = []
@@ -193,7 +194,7 @@ def check_regressions(
     than signal and are reported in the table but never fail the check.
     """
     if threshold <= 1.0:
-        raise ValueError(f"threshold must be > 1.0, got {threshold}")
+        raise ConfigurationError(f"threshold must be > 1.0, got {threshold}")
     messages = []
     baseline_cells = baseline.get("cells", {})
     for name, record in current.get("cells", {}).items():

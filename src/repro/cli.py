@@ -13,7 +13,9 @@ Subcommands:
   ``BENCH_core.json`` (the repo's recorded perf trajectory); ``--check``
   gates CI against >2x regressions of the committed baseline;
 * ``lint``   — run the project's AST-based static analyzer (determinism and
-  queue-atomicity rules, DET001.. QUE001/API001) over source trees; findings
+  queue-atomicity rules, DET001.. QUE001/API001) over source trees;
+  ``--project`` adds the interprocedural rules (DET005 entropy taint over the
+  call graph, ASY001 await-atomicity, EXC001 exception contracts); findings
   not in the committed baseline fail the run (``--update-baseline`` refreshes
   it, ``--list-rules`` documents every rule);
 * ``cache``  — inspect, clear, or merge on-disk result caches;
@@ -404,7 +406,7 @@ DEFAULT_LINT_BASELINE = "lint-baseline.json"
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from .analysis.lint import LINT_REGISTRY, Baseline, lint_paths
+    from .analysis.lint import ERROR_CODES, LINT_REGISTRY, Baseline, lint_paths
 
     if args.list_rules:
         rows = []
@@ -427,16 +429,29 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         else:  # installed package: lint the importable sources
             paths = [os.path.dirname(os.path.abspath(__file__))]
 
-    findings = lint_paths(
+    all_findings = lint_paths(
         paths,
         select=_csv(args.rule) if args.rule else None,
         ignore=_csv(args.ignore) if args.ignore else None,
+        project=args.project,
     )
+    # Analysis errors (E001 unparseable, E002 unreadable) are never rule
+    # findings: they cannot be baselined away and force exit 2 below.
+    errors = [f for f in all_findings if f.rule in ERROR_CODES]
+    findings = [f for f in all_findings if f.rule not in ERROR_CODES]
 
     baseline_path = args.baseline
     if baseline_path is None and os.path.exists(DEFAULT_LINT_BASELINE):
         baseline_path = DEFAULT_LINT_BASELINE
     if args.update_baseline:
+        if errors:
+            for finding in errors:
+                print(finding.render(), file=sys.stderr)
+            print(
+                "refusing to update the baseline: the analysis is incomplete",
+                file=sys.stderr,
+            )
+            return 2
         target = baseline_path or DEFAULT_LINT_BASELINE
         Baseline.from_findings(findings).write(target)
         print(f"wrote {len(findings)} finding(s) to {target}", file=sys.stderr)
@@ -449,10 +464,14 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             {
                 "findings": [f.to_dict() for f in new],
                 "baselined": [f.to_dict() for f in baselined],
+                "errors": [f.to_dict() for f in errors],
                 "summary": {
                     "checked_paths": [str(p) for p in paths],
+                    "baseline": str(baseline_path) if baseline_path else None,
+                    "project": bool(args.project),
                     "new": len(new),
                     "baselined": len(baselined),
+                    "errors": len(errors),
                     "stale_baseline_entries": stale,
                 },
             },
@@ -462,9 +481,11 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         )
         print()
     else:
-        for finding in new:
+        for finding in (*errors, *new):
             print(finding.render())
         summary = f"repro lint: {len(new)} finding(s)"
+        if errors:
+            summary += f", {len(errors)} analysis error(s)"
         if baselined:
             summary += f", {len(baselined)} baselined"
         if stale:
@@ -473,6 +494,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                 f"grandfathered; re-run with --update-baseline"
             )
         print(summary, file=sys.stderr)
+    if errors:
+        return 2
     return 1 if new else 0
 
 
@@ -795,6 +818,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="comma-separated rule codes to run (default: all)")
     lint.add_argument("--ignore", default=None, metavar="CODES",
                       help="comma-separated rule codes to skip")
+    lint.add_argument("--project", action="store_true",
+                      help="also run the interprocedural rules "
+                           "(DET005/ASY001/EXC001) over a whole-program "
+                           "symbol table and call graph built from PATHs")
     lint.add_argument("--baseline", default=None, metavar="FILE",
                       help="grandfather file for pre-existing findings "
                            f"(default: {DEFAULT_LINT_BASELINE} when present)")

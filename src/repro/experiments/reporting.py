@@ -94,7 +94,9 @@ def format_table(
         table_rows = [[row.get(h, "") for h in headers] for row in materialized]
     else:
         if headers is None:
-            raise ValueError("headers are required when rows are plain sequences")
+            raise ConfigurationError(
+                "headers are required when rows are plain sequences"
+            )
         table_rows = [list(row) for row in materialized]
 
     def render(value: object) -> str:
@@ -134,7 +136,9 @@ def format_markdown_table(
         table_rows = [[row.get(h, "") for h in headers] for row in materialized]
     else:
         if headers is None:
-            raise ValueError("headers are required when rows are plain sequences")
+            raise ConfigurationError(
+                "headers are required when rows are plain sequences"
+            )
         table_rows = [list(row) for row in materialized]
 
     def render(value: object) -> str:

@@ -152,10 +152,14 @@ class QueueServer:
             await self._server.serve_forever()
 
     async def stop(self) -> None:
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+        # Claim the server reference before the first await: two concurrent
+        # stop() calls must not both close it, and the old read→await→write
+        # sequence left a window where a second caller saw a live _server
+        # that was already being torn down (ASY001).
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
 
     # -- HTTP plumbing ---------------------------------------------------------
 

@@ -18,6 +18,7 @@ from repro.bench import (
     write_bench,
 )
 from repro.cli import main
+from repro.errors import ConfigurationError
 
 
 class TestBenchEngine:
@@ -43,7 +44,7 @@ class TestBenchEngine:
         assert set(record["phase_seconds"]) == {"plan", "execute"}
 
     def test_repeats_must_be_positive(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             time_cell(CORE_CELLS[0], repeats=0)
 
     def test_check_regressions_flags_only_slow_cells(self):
@@ -52,7 +53,7 @@ class TestBenchEngine:
         messages = check_regressions(current, baseline, threshold=2.0)
         assert len(messages) == 1 and messages[0].startswith("a:")
         assert check_regressions(baseline, baseline) == []
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             check_regressions(current, baseline, threshold=1.0)
 
     def test_cells_under_the_noise_floor_never_gate(self):

@@ -74,7 +74,7 @@ class TestTables:
     def test_format_table_handles_sequences_and_empty(self):
         assert "x" in format_table([[1, 2]], headers=["x", "y"])
         assert format_table([]) == "(no rows)"
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             format_table([[1, 2]])
 
 

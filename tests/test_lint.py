@@ -79,6 +79,75 @@ class TestDET001Entropy:
         """
         assert codes(lint_snippet(source, "uvm/fault.py")) == ["DET001"]
 
+    def test_from_import_with_rename_resolved(self):
+        source = """
+            from time import time as now
+
+            def stamp():
+                return now()
+        """
+        assert codes(lint_snippet(source, "uvm/fault.py")) == ["DET001"]
+
+    @pytest.mark.parametrize(
+        "module, call",
+        [("time", "monotonic()"), ("random", "shuffle(items)"), ("os", "urandom(8)")],
+    )
+    def test_star_import_resolved(self, module, call):
+        source = f"""
+            from {module} import *
+
+            def tick(items):
+                return {call}
+        """
+        assert codes(lint_snippet(source, "ssd/wear.py")) == ["DET001"]
+
+    def test_star_import_quiet_outside_deterministic_layers(self):
+        source = """
+            from time import *
+
+            def tick():
+                return monotonic()
+        """
+        assert lint_snippet(source, "experiments/cache.py") == []
+
+    def test_captured_reference_fires_without_a_call(self):
+        source = """
+            import time
+
+            def make_clock():
+                return time.time
+        """
+        findings = lint_snippet(source, "sim/engine.py")
+        assert codes(findings) == ["DET001"]
+        assert "captured without a call" in findings[0].message
+
+    def test_captured_from_import_reference_fires(self):
+        source = """
+            from time import time as now
+
+            def wire(executor):
+                executor.clock = now
+        """
+        assert codes(lint_snippet(source, "core/scheduler.py")) == ["DET001"]
+
+    def test_call_reports_once_not_as_call_plus_reference(self):
+        source = """
+            import time
+
+            def tick():
+                return time.time()
+        """
+        assert codes(lint_snippet(source, "sim/engine.py")) == ["DET001"]
+
+    def test_captured_allowlisted_reference_is_quiet(self):
+        source = """
+            import time
+
+            def wire():
+                return time.perf_counter
+        """
+        assert lint_snippet(source, "sim/executor.py") == []
+
     def test_quiet_outside_deterministic_layers(self):
         source = """
             import time
@@ -412,9 +481,17 @@ class TestFrameworkAndCLI:
         assert codes(findings) == ["E001"]
         assert "cannot parse" in findings[0].message
 
-    def test_lint_paths_missing_path_raises(self):
-        with pytest.raises(LintError, match="no such file"):
-            lint_paths(["definitely/not/a/path"])
+    def test_lint_paths_missing_path_is_a_structured_finding(self):
+        findings = lint_paths(["definitely/not/a/path"])
+        assert [f.rule for f in findings] == ["E002"]
+        assert "no such file" in findings[0].message
+
+    def test_lint_paths_empty_directory_is_a_structured_finding(self, tmp_path):
+        empty = tmp_path / "nothing"
+        empty.mkdir()
+        findings = lint_paths([empty])
+        assert [f.rule for f in findings] == ["E002"]
+        assert "no Python files" in findings[0].message
 
     def _violation_tree(self, tmp_path):
         module = tmp_path / "repro" / "sim" / "clocky.py"
