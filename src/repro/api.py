@@ -49,7 +49,10 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .experiments.tenancy import ArrivalProcess, MultiTenantScenario
 
 from .config import SystemConfig
 from .errors import ConfigurationError
@@ -236,6 +239,38 @@ class Scenario:
     def describe(self) -> dict[str, Any]:
         """JSON-safe summary of the resolved scenario (no execution)."""
         return self.session().describe()
+
+    def colocated_with(
+        self,
+        *others: "Scenario",
+        name: str = "t0",
+        arrivals: "ArrivalProcess | None" = None,
+    ) -> "MultiTenantScenario":
+        """Compose this scenario with others into a multi-tenant scenario.
+
+        Returns an immutable
+        :class:`~repro.experiments.tenancy.MultiTenantScenario` where this
+        scenario is tenant ``name`` and each other scenario becomes tenant
+        ``t1``, ``t2``, ... — extend further with ``with_tenant(...)`` for
+        custom names or per-tenant arrival processes. ``arrivals`` (an
+        :class:`~repro.experiments.tenancy.ArrivalProcess`) applies to every
+        tenant created here; the default is a single request at time zero.
+        """
+        from .experiments.tenancy import ArrivalProcess, MultiTenantScenario, Tenant
+
+        process = arrivals if arrivals is not None else ArrivalProcess.trace((0.0,))
+        if not isinstance(process, ArrivalProcess):
+            raise ConfigurationError("arrivals must be an ArrivalProcess")
+        tenants = [Tenant(name=name, scenario=self, arrivals=process)]
+        for index, scenario in enumerate(others, start=1):
+            if not isinstance(scenario, Scenario):
+                raise ConfigurationError(
+                    f"colocated_with takes Scenario instances, got {type(scenario).__name__}"
+                )
+            tenants.append(
+                Tenant(name=f"t{index}", scenario=scenario, arrivals=process)
+            )
+        return MultiTenantScenario(tuple(tenants))
 
 
 class Session:

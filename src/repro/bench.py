@@ -205,11 +205,55 @@ def check_regressions(
         if before < min_seconds:
             continue
         if before > 0 and after > threshold * before:
+            culprit = _phase_culprit(reference, record)
             messages.append(
                 f"{name}: {after:.4f}s vs baseline {before:.4f}s "
-                f"({after / before:.2f}x > {threshold:.1f}x threshold)"
+                f"({after / before:.2f}x > {threshold:.1f}x threshold)" + culprit
             )
     return messages
+
+
+def _phase_culprit(reference: dict, record: dict) -> str:
+    """Name the phase that grew the most between two records of one cell.
+
+    Returns a `` — slowest-growing phase: ...`` suffix so a regression message
+    points at planning vs. execution instead of just the total, or an empty
+    string when either payload predates per-phase recording.
+    """
+    before_phases = reference.get("phase_seconds") or {}
+    after_phases = record.get("phase_seconds") or {}
+    shared = sorted(set(before_phases) & set(after_phases))
+    if not shared:
+        return ""
+    phase = max(shared, key=lambda name: after_phases[name] - before_phases[name])
+    return (
+        f" — slowest-growing phase: {phase} "
+        f"({before_phases[phase]:.4f}s → {after_phases[phase]:.4f}s)"
+    )
+
+
+def profile_rows(payload: dict) -> list[dict]:
+    """Per-cell, per-phase breakdown rows for ``repro bench --profile``.
+
+    One row per (cell, phase) from the recorded ``phase_seconds``, with each
+    phase's share of the cell's phase total — the table ROADMAP asks for so a
+    regression names a phase (planning vs. event-loop execution) rather than
+    just a total.
+    """
+    rows = []
+    for name, record in payload.get("cells", {}).items():
+        phases = record.get("phase_seconds") or {}
+        total = sum(phases.values())
+        for phase, seconds in sorted(phases.items()):
+            rows.append(
+                {
+                    "cell": name,
+                    "phase": phase,
+                    "seconds": seconds,
+                    "share": seconds / total if total > 0 else 0.0,
+                }
+            )
+    return rows
 
 
 def bench_rows(payload: dict) -> list[dict]:

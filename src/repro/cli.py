@@ -216,15 +216,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         raise ConfigurationError("repro run requires --model (or --list-policies/--list-models)")
 
     runner = _make_runner(args)
+    patch = ConfigPatch(
+        host_memory_bytes=None if args.host_memory_gb is None else int(args.host_memory_gb * GB),
+        ssd_read_bandwidth=None if args.ssd_bandwidth_gbs is None else args.ssd_bandwidth_gbs * GB,
+    )
+    if args.tenants is not None:
+        return _run_tenants(args, runner, patch)
     scenario = Scenario(
         model=args.model,
         policy=args.policy,
         batch_size=args.batch,
         scale=args.scale,
-        patch=ConfigPatch(
-            host_memory_bytes=None if args.host_memory_gb is None else int(args.host_memory_gb * GB),
-            ssd_read_bandwidth=None if args.ssd_bandwidth_gbs is None else args.ssd_bandwidth_gbs * GB,
-        ),
+        patch=patch,
         profiling_error=args.error,
         seed=args.seed,
     )
@@ -248,6 +251,47 @@ def _cmd_run(args: argparse.Namespace) -> int:
             json.dump(payload, fh, indent=2)
         print(f"wrote {args.output}")
     return 1 if result.failed else 0
+
+
+def _run_tenants(args: argparse.Namespace, runner: SweepRunner, patch: ConfigPatch) -> int:
+    """``repro run --tenants N``: co-locate N sessions on one shared system."""
+    from .experiments.tenancy import ArrivalProcess, MultiTenantScenario, Tenant
+
+    if args.tenants < 1:
+        raise ConfigurationError(f"--tenants must be >= 1, got {args.tenants}")
+    policies = _csv(args.tenant_policies) if args.tenant_policies else [args.policy]
+    tenants = []
+    for index in range(args.tenants):
+        policy = policies[index % len(policies)]
+        scenario = Scenario(
+            model=args.model,
+            policy=policy,
+            batch_size=args.batch,
+            scale=args.scale,
+            patch=patch,
+            profiling_error=args.error,
+            seed=args.seed,
+        )
+        # Per-tenant offered load sums to --arrival-load across the system.
+        arrivals = ArrivalProcess.poisson(
+            load=args.arrival_load / args.tenants,
+            requests=args.requests,
+            seed=args.seed,
+        )
+        tenants.append(Tenant(name=f"t{index}-{policy}", scenario=scenario, arrivals=arrivals))
+    start = time.monotonic()
+    result = MultiTenantScenario(tenants=tuple(tenants)).run(runner=runner)
+    _report_stats(f"run {args.model} x{args.tenants} tenants", runner, time.monotonic() - start)
+    print(format_table(result.summary_rows()))
+    print(
+        f"fairness (Jain): {result.fairness:.4f}, makespan: {result.makespan:.4f}s",
+        file=sys.stderr,
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(jsonify(result.to_dict()), fh, indent=2, sort_keys=True)
+        print(f"wrote {args.output}")
+    return 0
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
@@ -365,12 +409,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from . import bench as bench_mod
 
     start = time.monotonic()
-    payload = bench_mod.run_bench(
-        quick=args.quick,
-        repeats=args.repeats,
-        progress=lambda message: print(message, file=sys.stderr),
-    )
+    if args.from_file is not None:
+        try:
+            payload = bench_mod.load_bench(args.from_file)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(f"cannot read bench payload {args.from_file}: {exc}")
+    else:
+        payload = bench_mod.run_bench(
+            quick=args.quick,
+            repeats=args.repeats,
+            progress=lambda message: print(message, file=sys.stderr),
+        )
     print(format_table(bench_mod.bench_rows(payload)))
+    if args.profile:
+        rows = bench_mod.profile_rows(payload)
+        if rows:
+            print(format_table(rows))
+        else:
+            print("no per-phase timings recorded in this payload", file=sys.stderr)
     headline = payload.get("headline")
     if headline is not None:
         print(
@@ -379,9 +435,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"({headline['speedup_vs_pre_refactor']:.2f}x)",
             file=sys.stderr,
         )
-    output = args.output or bench_mod.DEFAULT_BENCH_PATH
-    bench_mod.write_bench(payload, output)
-    print(f"wrote {output} ({time.monotonic() - start:.1f}s)", file=sys.stderr)
+    if args.from_file is None:
+        output = args.output or bench_mod.DEFAULT_BENCH_PATH
+        bench_mod.write_bench(payload, output)
+        print(f"wrote {output} ({time.monotonic() - start:.1f}s)", file=sys.stderr)
+    elif args.output is not None:
+        bench_mod.write_bench(payload, args.output)
+        print(f"wrote {args.output}", file=sys.stderr)
     if args.check is not None:
         try:
             baseline = bench_mod.load_bench(args.check)
@@ -619,6 +679,12 @@ def _cmd_queue(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .experiments.server import serve
 
+    limits = {}
+    if args.read_timeout is not None:
+        # 0 disables the per-read deadline (trusted-network escape hatch).
+        limits["read_timeout"] = None if args.read_timeout == 0 else args.read_timeout
+    if args.max_body_bytes is not None:
+        limits["max_body_bytes"] = args.max_body_bytes
     serve(
         args.queue_dir or default_queue_root(),
         args.cache_dir,
@@ -627,6 +693,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         lease_timeout=args.lease_timeout,
         max_attempts=args.max_attempts if args.max_attempts is not None else DEFAULT_MAX_ATTEMPTS,
         stream=sys.stderr,
+        **limits,
     )
     return 0
 
@@ -694,6 +761,17 @@ def build_parser() -> argparse.ArgumentParser:
                      help="override host memory capacity (GB)")
     run.add_argument("--ssd-bandwidth-gbs", type=float, default=None,
                      help="override SSD read bandwidth (GB/s, write scaled proportionally)")
+    run.add_argument("--tenants", type=int, default=None, metavar="N",
+                     help="co-locate N sessions of this model on one shared "
+                          "GPU+SSD and report per-tenant SLO/fairness metrics")
+    run.add_argument("--arrival-load", type=float, default=1.0, metavar="RHO",
+                     help="tenants: total offered load (requests per solo "
+                          "latency) split evenly across tenants (default: 1.0)")
+    run.add_argument("--requests", type=int, default=4, metavar="K",
+                     help="tenants: Poisson-arrival requests per tenant (default: 4)")
+    run.add_argument("--tenant-policies", default=None, metavar="P1,P2",
+                     help="tenants: per-tenant policies assigned round-robin "
+                          "(default: --policy for every tenant)")
     _add_common(run)
     _add_output(run)
     run.set_defaults(func=_cmd_run)
@@ -789,6 +867,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-attempts", type=int, default=None, metavar="N",
                        help="lease attempts per cell before it is parked as failed "
                             "(default: 5)")
+    serve.add_argument("--read-timeout", type=float, default=None, metavar="SECONDS",
+                       help="per-read client timeout; a stalled request is answered "
+                            "408 instead of pinning the server (default: 30; 0 disables)")
+    serve.add_argument("--max-body-bytes", type=int, default=None, metavar="BYTES",
+                       help="largest accepted request body; bigger uploads are "
+                            "answered 413 (default: 8 MiB)")
     serve.set_defaults(func=_cmd_serve)
 
     bench = sub.add_parser(
@@ -805,6 +889,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "non-zero if any timed cell regressed beyond --threshold")
     bench.add_argument("--threshold", type=float, default=2.0, metavar="X",
                        help="regression gate for --check (default: 2.0x)")
+    bench.add_argument("--profile", action="store_true",
+                       help="print the per-cell, per-phase time breakdown "
+                            "(planning vs. event-loop execution)")
+    bench.add_argument("--from", dest="from_file", default=None, metavar="FILE",
+                       help="report/check a previously measured payload instead "
+                            "of re-timing (nothing is written unless --output)")
     bench.set_defaults(func=_cmd_bench)
 
     lint = sub.add_parser(

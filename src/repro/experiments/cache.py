@@ -50,6 +50,19 @@ def _tmp_path(target: Path) -> Path:
     """
     return target.with_suffix(f".tmp.{os.getpid()}.{next(_TMP_COUNTER)}")
 
+def _size_or_zero(path: Path) -> int:
+    """``path``'s size, or 0 when it vanished since being globbed.
+
+    Concurrent workers delete their temp files (and ``clear`` removes whole
+    entries) at any moment; a read-only accounting pass must tolerate that
+    instead of surfacing ``FileNotFoundError``.
+    """
+    try:
+        return path.stat().st_size
+    except OSError:
+        return 0
+
+
 #: Bump when the stored payload layout changes; mismatched entries are misses.
 CACHE_SCHEMA_VERSION = 1
 
@@ -181,15 +194,21 @@ class ResultCache:
         return removed
 
     def stats(self) -> dict[str, object]:
-        """Entry count, total size, stale temp files, and the cache root."""
+        """Entry count, total size, stale temp files, and the cache root.
+
+        Read-only and safe against concurrent writers: a file deleted between
+        the directory glob and its ``stat`` (e.g. a worker reclaiming its own
+        temp file, or ``clear`` racing ``info``) counts as zero bytes instead
+        of raising.
+        """
         entries = list(self.root.glob("*/*.json"))
         stale = self._stale_tmp_files()
         return {
             "root": str(self.root),
             "entries": len(entries),
-            "bytes": sum(p.stat().st_size for p in entries),
+            "bytes": sum(_size_or_zero(p) for p in entries),
             "stale_tmp": len(stale),
-            "stale_tmp_bytes": sum(p.stat().st_size for p in stale),
+            "stale_tmp_bytes": sum(_size_or_zero(p) for p in stale),
         }
 
     def connect_info(self) -> dict:

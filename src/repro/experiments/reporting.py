@@ -59,6 +59,7 @@ from .figures import (
     section77_ssd_lifetime,
 )
 from .tables import table1_models, table1_spec, table2_configuration
+from .tenancy import tenancy_contention, tenancy_spec
 
 
 def jsonify(obj):
@@ -204,6 +205,12 @@ _register_builtin(
 )
 _register_builtin(Experiment("table1", "Table 1 — model zoo", table1_models, table1_spec))
 _register_builtin(Experiment("table2", "Table 2 — system configuration", _render_table2, None))
+_register_builtin(
+    Experiment(
+        "tenancy", "Multi-tenant contention sweep", tenancy_contention, tenancy_spec, True
+    ),
+    aliases=("serving", "multitenant"),
+)
 
 
 class _ExperimentView(Sequence):
@@ -458,8 +465,12 @@ def generate_report(
 
 
 def artifact_name(experiment_id: str) -> str:
-    """Basename (sans extension) of an experiment's JSON artifact/golden file."""
-    return experiment_id if experiment_id.startswith(("table", "lifetime")) else f"figure{experiment_id}"
+    """Basename (sans extension) of an experiment's JSON artifact/golden file.
+
+    Purely numeric ids are the paper's figures (``"11"`` → ``figure11``);
+    named experiments (``table1``, ``lifetime``, ``tenancy``) keep their id.
+    """
+    return f"figure{experiment_id}" if experiment_id.isdigit() else experiment_id
 
 
 def _manifest_json(manifest: dict) -> dict:

@@ -39,7 +39,7 @@ from __future__ import annotations
 import asyncio
 import json
 from pathlib import Path
-from typing import IO, Callable, Mapping
+from typing import IO, Awaitable, Callable, Mapping
 
 from ..errors import ConfigurationError, QueueError, ReproError
 from .backend import Lease
@@ -52,13 +52,19 @@ __all__ = ["QueueServer", "serve"]
 #: cached payload fits comfortably; anything bigger is a protocol error.
 MAX_BODY_BYTES = 64 * 1024 * 1024
 
+#: Default per-read deadline: a client must deliver each protocol unit
+#: (request line, header line, body) within this window or the handler gives
+#: up with 408 instead of being pinned forever by a stalled connection.
+DEFAULT_READ_TIMEOUT = 30.0
+
 _JSON_HEADERS = (
     b"Content-Type: application/json\r\n"
     b"Connection: close\r\n"
 )
 
 _REASONS = {200: b"OK", 400: b"Bad Request", 404: b"Not Found",
-            413: b"Payload Too Large", 500: b"Internal Server Error"}
+            408: b"Request Timeout", 413: b"Payload Too Large",
+            500: b"Internal Server Error"}
 
 
 class _RequestError(Exception):
@@ -90,6 +96,11 @@ class QueueServer:
         clock: Injectable deadline clock (tests); defaults to the process
             monotonic-with-epoch clock. This clock is the single authority
             for every deadline the service ever computes.
+        read_timeout: Per-read deadline in seconds; a client that stalls
+            mid-request is answered with 408 instead of pinning the handler.
+            ``None`` disables the deadline (trusted-network deployments only).
+        max_body_bytes: Reject request bodies declaring more than this many
+            bytes with 413 before reading them.
     """
 
     def __init__(
@@ -101,13 +112,21 @@ class QueueServer:
         lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
         max_attempts: int | None = DEFAULT_MAX_ATTEMPTS,
         clock: Callable[[], float] | None = None,
+        read_timeout: float | None = DEFAULT_READ_TIMEOUT,
+        max_body_bytes: int = MAX_BODY_BYTES,
     ):
+        if read_timeout is not None and read_timeout <= 0:
+            raise ConfigurationError("read_timeout must be positive (or None to disable)")
+        if max_body_bytes <= 0:
+            raise ConfigurationError("max_body_bytes must be positive")
         self.queue = WorkQueue(
             queue_dir, lease_timeout=lease_timeout, max_attempts=max_attempts, clock=clock
         )
         self.cache = ResultCache(cache_dir)
         self.host = host
         self.port = port
+        self.read_timeout = read_timeout
+        self.max_body_bytes = max_body_bytes
         self._server: asyncio.base_events.Server | None = None
         self._routes: dict[tuple[str, str], Callable[[dict], dict[str, object]]] = {
             ("GET", "/v1/health"): self._health,
@@ -186,19 +205,31 @@ class QueueServer:
             except (ConnectionError, OSError):  # pragma: no cover - teardown race
                 pass
 
+    async def _read(self, awaitable: Awaitable[bytes]) -> bytes:
+        """One protocol read under the per-read deadline (408 on expiry)."""
+        if self.read_timeout is None:
+            return await awaitable
+        return await asyncio.wait_for(awaitable, timeout=self.read_timeout)
+
     async def _respond(
         self, reader: asyncio.StreamReader
     ) -> tuple[int, dict[str, object]]:
-        """Parse one HTTP/1.1 request and dispatch it; never raises."""
+        """Parse one HTTP/1.1 request and dispatch it; never raises.
+
+        Every read is bounded by :attr:`read_timeout` (a stalled or malicious
+        client gets 408, freeing the handler) and the declared body size is
+        validated against :attr:`max_body_bytes` *before* any allocation (a
+        huge or negative ``Content-Length`` is refused, never buffered).
+        """
         try:
-            request_line = await reader.readline()
+            request_line = await self._read(reader.readline())
             parts = request_line.decode("latin-1").split()
             if len(parts) != 3:
                 return 400, {"error": "malformed request line", "kind": "protocol"}
             method, target = parts[0], parts[1].split("?", 1)[0]
             length = 0
             while True:
-                line = await reader.readline()
+                line = await self._read(reader.readline())
                 if line in (b"\r\n", b"\n", b""):
                     break
                 name, _, value = line.decode("latin-1").partition(":")
@@ -207,9 +238,16 @@ class QueueServer:
                         length = int(value.strip())
                     except ValueError:
                         return 400, {"error": "bad Content-Length", "kind": "protocol"}
-            if length > MAX_BODY_BYTES:
+            if length < 0:
+                return 400, {"error": "bad Content-Length", "kind": "protocol"}
+            if length > self.max_body_bytes:
                 return 413, {"error": "request body too large", "kind": "protocol"}
-            raw = await reader.readexactly(length) if length else b""
+            raw = await self._read(reader.readexactly(length)) if length else b""
+        except asyncio.TimeoutError:
+            return 408, {
+                "error": f"client read timed out after {self.read_timeout}s",
+                "kind": "timeout",
+            }
         except (asyncio.IncompleteReadError, UnicodeDecodeError):
             return 400, {"error": "truncated request", "kind": "protocol"}
         return self._dispatch(method, target, raw)
@@ -382,6 +420,8 @@ def serve(
     lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
     max_attempts: int | None = DEFAULT_MAX_ATTEMPTS,
     stream: IO[str] | None = None,
+    read_timeout: float | None = DEFAULT_READ_TIMEOUT,
+    max_body_bytes: int = MAX_BODY_BYTES,
 ) -> None:
     """Run a :class:`QueueServer` until interrupted (the ``repro serve`` CLI).
 
@@ -395,6 +435,8 @@ def serve(
         port=port,
         lease_timeout=lease_timeout,
         max_attempts=max_attempts,
+        read_timeout=read_timeout,
+        max_body_bytes=max_body_bytes,
     )
 
     async def _run() -> None:

@@ -11,6 +11,14 @@ from .results import KernelTiming, PerfCounters, SimulationResult
 from .executor import ExecutionSimulator
 from .engine import EventQueue, Event, simulate
 from .observer import SimObserver, TraceRecorder
+from .tenancy import (
+    RequestRecord,
+    SharedSystem,
+    TenancyOutcome,
+    TenantServiceStats,
+    TenantTrace,
+    simulate_tenancy,
+)
 
 __all__ = [
     "KernelTiming",
@@ -22,4 +30,10 @@ __all__ = [
     "simulate",
     "SimObserver",
     "TraceRecorder",
+    "RequestRecord",
+    "SharedSystem",
+    "TenancyOutcome",
+    "TenantServiceStats",
+    "TenantTrace",
+    "simulate_tenancy",
 ]

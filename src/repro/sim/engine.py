@@ -27,6 +27,16 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .policy import MigrationPolicy
     from .results import SimulationResult
 
+#: A tie-break key for same-timestamp events. Single-session simulations use
+#: plain ints (the executor schedules eviction completions with
+#: ``priority=tensor_id``); multi-tenant simulations use tuples such as
+#: ``(rank, tenant_name, request_index)`` so the drain order depends only on
+#: stable identities, never on the order tenants were registered. Within one
+#: queue all priorities must be mutually comparable (all ints or all
+#: same-shape tuples).
+Priority = int | tuple[int | str, ...]
+
+
 @dataclass(order=True)
 class Event:
     """One scheduled event: a timestamp plus an arbitrary payload.
@@ -34,11 +44,15 @@ class Event:
     Events order by ``(time, priority, sequence)``; the priority gives the
     executor deterministic tie-breaks between same-timestamp events (eviction
     completions are scheduled with ``priority=tensor_id``, reproducing the
-    historical ``(completion, tensor_id)`` drain order).
+    historical ``(completion, tensor_id)`` drain order). The ``sequence``
+    counter is a last-resort FIFO tie-break only: any event source whose
+    scheduling order can vary (e.g. multiple tenants registering arrivals)
+    must encode a content-derived :data:`Priority` tuple so same-timestamp
+    drains are independent of insertion order.
     """
 
     time: float
-    priority: int = 0
+    priority: Priority = 0
     sequence: int = 0
     kind: str = field(compare=False, default="")
     payload: Any = field(compare=False, default=None)
@@ -59,7 +73,9 @@ class EventQueue:
     def __len__(self) -> int:
         return len(self._heap)
 
-    def schedule(self, time: float, kind: str, payload: Any = None, priority: int = 0) -> Event:
+    def schedule(
+        self, time: float, kind: str, payload: Any = None, priority: Priority = 0
+    ) -> Event:
         """Add an event at an absolute timestamp."""
         if time < 0:
             raise SimulationError("cannot schedule an event at negative time")

@@ -6,6 +6,7 @@ import pytest
 
 from repro.config import SystemConfig, ci_config, paper_config
 from repro.core.vitality import TensorVitalityAnalyzer
+from repro.experiments import ResultCache, SweepRunner
 from repro.experiments.harness import build_workload
 from repro.graph import DataflowGraph, expand_training
 from repro.profiling import profile_training_graph
@@ -26,6 +27,14 @@ def pytest_addoption(parser):
 def update_goldens(request) -> bool:
     """Whether golden files should be rewritten instead of compared."""
     return request.config.getoption("--update-goldens")
+
+
+@pytest.fixture(scope="session")
+def golden_runner(tmp_path_factory) -> SweepRunner:
+    """One cached runner shared by the golden + tenancy-equivalence suites:
+    figures share most of their cells (12-14 are subsets of 11's grid), so
+    later experiments render almost entirely from the session cache."""
+    return SweepRunner(cache=ResultCache(tmp_path_factory.mktemp("golden-cache")))
 
 
 @pytest.fixture(scope="session")

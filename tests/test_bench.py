@@ -13,6 +13,7 @@ from repro.bench import (
     QUICK_TIERS,
     bench_cells,
     check_regressions,
+    profile_rows,
     run_bench,
     time_cell,
     write_bench,
@@ -64,6 +65,38 @@ class TestBenchEngine:
         # An explicit floor of 0 gates everything.
         assert len(check_regressions(current, baseline, min_seconds=0.0)) == 2
 
+    def test_regression_message_names_the_slowest_growing_phase(self):
+        baseline = {"cells": {"a": {
+            "seconds": 1.0, "phase_seconds": {"plan": 0.5, "execute": 0.5},
+        }}}
+        current = {"cells": {"a": {
+            "seconds": 3.0, "phase_seconds": {"plan": 0.6, "execute": 2.4},
+        }}}
+        (message,) = check_regressions(current, baseline, threshold=2.0)
+        assert "slowest-growing phase: execute" in message
+        assert "0.5000s" in message and "2.4000s" in message
+
+    def test_regression_message_degrades_without_phase_data(self):
+        """Payloads written before per-phase recording still gate cleanly."""
+        baseline = {"cells": {"a": {"seconds": 1.0}}}
+        current = {"cells": {"a": {"seconds": 3.0}}}
+        (message,) = check_regressions(current, baseline, threshold=2.0)
+        assert "slowest-growing phase" not in message
+
+    def test_profile_rows_break_each_cell_into_phases(self):
+        payload = {"cells": {
+            "a": {"seconds": 1.0, "phase_seconds": {"plan": 0.25, "execute": 0.75}},
+            "old": {"seconds": 1.0},  # pre-phase payload: contributes no rows
+        }}
+        rows = profile_rows(payload)
+        assert [(r["cell"], r["phase"]) for r in rows] == [
+            ("a", "execute"), ("a", "plan"),
+        ]
+        by_phase = {r["phase"]: r for r in rows}
+        assert by_phase["plan"]["share"] == pytest.approx(0.25)
+        assert by_phase["execute"]["share"] == pytest.approx(0.75)
+        assert profile_rows({"cells": {}}) == []
+
 
 class TestBenchCli:
     def test_quick_run_writes_artifact(self, tmp_path, capsys):
@@ -108,6 +141,41 @@ class TestBenchCli:
             "--check", str(tmp_path / "missing.json"),
         ])
         assert code == 2  # ReproError exit path
+
+    def test_from_reports_a_saved_payload_without_retiming(self, tmp_path, capsys):
+        saved = tmp_path / "saved.json"
+        write_bench(run_bench(quick=True, repeats=1), saved)
+        before = saved.read_text(encoding="utf-8")
+
+        assert main(["bench", "--from", str(saved), "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "pages_moved" in out          # the summary table
+        assert "share" in out and "plan" in out  # the per-phase breakdown
+        # Report-only mode: nothing is rewritten, and no default artifact
+        # appears in the working directory.
+        assert saved.read_text(encoding="utf-8") == before
+
+    def test_from_with_check_gates_without_measuring(self, tmp_path):
+        """The CI cross-PR diff: measure once, then diff two payloads."""
+        current = run_bench(quick=True, repeats=1)
+        measured = tmp_path / "measured.json"
+        write_bench(current, measured)
+        doctored = {
+            "cells": {
+                name: {**record, "seconds": 0.05}
+                for name, record in current["cells"].items()
+            }
+        }
+        regressed = tmp_path / "regressed.json"
+        regressed.write_text(json.dumps(doctored), encoding="utf-8")
+
+        assert main(["bench", "--from", str(measured),
+                     "--check", str(measured), "--threshold", "50"]) == 0
+        assert main(["bench", "--from", str(measured),
+                     "--check", str(regressed), "--threshold", "1.01"]) == 1
+
+    def test_from_missing_payload_is_a_configuration_error(self, tmp_path):
+        assert main(["bench", "--from", str(tmp_path / "missing.json")]) == 2
 
 
 def test_committed_bench_artifact_tracks_the_headline_cell():

@@ -131,6 +131,38 @@ class TestStatsClearAgreement:
         assert after["entries"] == 0 and after["bytes"] == 0
         assert not root.exists()
 
+    def test_stats_tolerates_files_vanishing_mid_scan(self, tmp_path, monkeypatch):
+        """Regression: a concurrent worker (or ``clear``) deleting a file
+        between the directory glob and its ``stat`` made ``stats()`` raise
+        ``FileNotFoundError``; a read-only accounting pass must instead count
+        the vanished file as zero bytes."""
+        from pathlib import Path
+
+        cache = ResultCache(tmp_path / "c")
+        cache.put("ab12cd", {"v": 1})
+        cache.put("ef34ab", {"v": 2})
+        stale = cache.root / "fe" / "fe99.tmp.4242.0"
+        stale.parent.mkdir(parents=True, exist_ok=True)
+        stale.write_text("{torn", encoding="utf-8")
+
+        victims = {cache.path_for("ab12cd"), stale}
+        original_stat = Path.stat
+
+        def racing_stat(self, **kwargs):
+            if self in victims:
+                # Simulate the racer: the file is gone by the time stats()
+                # stats it, even though the glob still listed it.
+                raise FileNotFoundError(str(self))
+            return original_stat(self, **kwargs)
+
+        monkeypatch.setattr(Path, "stat", racing_stat)
+        stats = cache.stats()
+        # The glob still saw every path; only the sizes degrade to zero.
+        assert stats["entries"] == 2
+        assert stats["stale_tmp"] == 1
+        assert stats["bytes"] == cache.path_for("ef34ab").stat().st_size
+        assert stats["stale_tmp_bytes"] == 0
+
 
 class TestTempFileHygiene:
     def test_failed_put_leaves_no_temp_file(self, tmp_path):

@@ -82,6 +82,32 @@ class TestRunCommand:
         assert not payload["result"]["failed"]
 
 
+class TestRunTenantsCommand:
+    def test_colocated_run_reports_slo_table_and_artifact(self, tmp_path, capsys):
+        artifact = tmp_path / "tenants.json"
+        assert run_cli(
+            "run", "--model", "bert", "--scale", "ci",
+            "--tenants", "2", "--tenant-policies", "g10,base_uvm",
+            "--arrival-load", "1.0", "--requests", "2",
+            "--cache-dir", str(tmp_path / "c"), "--output", str(artifact),
+        ) == 0
+        captured = capsys.readouterr()
+        assert "p99_latency_s" in captured.out
+        assert "t0-g10" in captured.out and "t1-base_uvm" in captured.out
+        assert "fairness (Jain)" in captured.err
+        payload = json.loads(artifact.read_text())
+        assert set(payload["tenants"]) == {"t0-g10", "t1-base_uvm"}
+        assert 0.0 < payload["fairness"] <= 1.0
+        assert payload["tenants"]["t0-g10"]["policy"] == "g10"
+        assert len(payload["tenants"]["t0-g10"]["latencies"]) == 2
+
+    def test_tenants_must_be_positive(self, tmp_path):
+        assert run_cli(
+            "run", "--model", "bert", "--scale", "ci", "--tenants", "0",
+            "--no-cache",
+        ) == 2  # ConfigurationError exit path
+
+
 class TestSweepCommand:
     def test_grid_sweep(self, tmp_path, capsys):
         artifact = tmp_path / "sweep.json"

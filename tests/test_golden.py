@@ -23,7 +23,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.experiments import ResultCache, SweepRunner, jsonify
+from repro.experiments import jsonify
 from repro.experiments.reporting import EXPERIMENTS, artifact_name
 
 GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
@@ -32,14 +32,6 @@ GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
 def golden_text(payload) -> str:
     """The canonical serialization goldens are stored and compared in."""
     return json.dumps(jsonify(payload), indent=2, sort_keys=True) + "\n"
-
-
-@pytest.fixture(scope="session")
-def golden_runner(tmp_path_factory) -> SweepRunner:
-    """One cached runner for the whole suite: figures share most of their
-    cells (12-14 are subsets of 11's grid), so later experiments render
-    almost entirely from the session cache."""
-    return SweepRunner(cache=ResultCache(tmp_path_factory.mktemp("golden-cache")))
 
 
 @pytest.mark.parametrize("experiment", EXPERIMENTS, ids=lambda e: e.id)

@@ -25,6 +25,7 @@ import itertools
 import json
 import os
 import signal
+import socket
 import subprocess
 import sys
 import tempfile
@@ -526,3 +527,130 @@ class TestHttpAuthority:
             SweepRunner(queue_dir=tmp_path / "q", queue_url="http://127.0.0.1:1")
         with pytest.raises(ConfigurationError):
             SweepRunner(queue_url="http://127.0.0.1:1", lease_timeout=5.0)
+
+
+class TestProtocolHardening:
+    """Satellite hardening of the request loop: per-read timeouts and body
+    caps answer misbehaving clients with structured ``{"error", "kind"}``
+    JSON instead of pinning a handler or buffering unbounded bodies."""
+
+    @staticmethod
+    def _start(tmp_path, **kwargs):
+        server = QueueServer(tmp_path / "q", tmp_path / "c", port=0, **kwargs)
+        loop = asyncio.new_event_loop()
+        thread = threading.Thread(target=loop.run_forever, daemon=True)
+        thread.start()
+        asyncio.run_coroutine_threadsafe(server.start(), loop).result(timeout=10)
+
+        def close() -> None:
+            asyncio.run_coroutine_threadsafe(server.stop(), loop).result(timeout=10)
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=10)
+
+        return server, close
+
+    @staticmethod
+    def _exchange(server, raw: bytes, settle: float = 0.0):
+        """Send raw bytes, optionally linger, and parse the (status, json) reply."""
+        with socket.create_connection(("127.0.0.1", server.port), timeout=10) as sock:
+            sock.sendall(raw)
+            if settle:
+                time.sleep(settle)
+            chunks = []
+            while True:
+                data = sock.recv(65536)
+                if not data:
+                    break
+                chunks.append(data)
+        response = b"".join(chunks)
+        head, _, body = response.partition(b"\r\n\r\n")
+        status = int(head.split(b" ", 2)[1])
+        return status, json.loads(body)
+
+    def test_configuration_validation(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            QueueServer(tmp_path / "q", tmp_path / "c", read_timeout=0.0)
+        with pytest.raises(ConfigurationError):
+            QueueServer(tmp_path / "q", tmp_path / "c", read_timeout=-1.0)
+        with pytest.raises(ConfigurationError):
+            QueueServer(tmp_path / "q", tmp_path / "c", max_body_bytes=0)
+
+    def test_stalled_client_gets_structured_408(self, tmp_path):
+        server, close = self._start(tmp_path, read_timeout=0.2)
+        try:
+            # A request line that never finishes: the read deadline expires
+            # and the handler answers instead of waiting forever.
+            status, body = self._exchange(server, b"POST /v1/queue/status HTT")
+            assert status == 408
+            assert body["kind"] == "timeout"
+            assert "timed out" in body["error"]
+
+            # The handler is freed, not wedged: the next request succeeds.
+            status, body = self._exchange(
+                server, b"GET /v1/health HTTP/1.1\r\nHost: x\r\n\r\n"
+            )
+            assert status == 200 and body["ok"] is True
+        finally:
+            close()
+
+    def test_stalled_body_gets_structured_408(self, tmp_path):
+        server, close = self._start(tmp_path, read_timeout=0.2)
+        try:
+            status, body = self._exchange(
+                server,
+                b"POST /v1/cache/get HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Length: 100\r\n\r\n{\"key\":",  # body never completes
+            )
+            assert status == 408
+            assert body["kind"] == "timeout"
+        finally:
+            close()
+
+    def test_oversized_body_gets_structured_413(self, tmp_path):
+        server, close = self._start(tmp_path, max_body_bytes=64)
+        try:
+            declared = 65
+            status, body = self._exchange(
+                server,
+                b"POST /v1/cache/get HTTP/1.1\r\nHost: x\r\n"
+                + b"Content-Length: %d\r\n\r\n" % declared
+                + b"x" * declared,
+            )
+            assert status == 413
+            assert body == {"error": "request body too large", "kind": "protocol"}
+
+            # At the limit the request is still served normally.
+            payload = json.dumps({"key": "k" * 54}, separators=(",", ":")).encode()
+            assert len(payload) == 64
+            status, body = self._exchange(
+                server,
+                b"POST /v1/cache/get HTTP/1.1\r\nHost: x\r\n"
+                + b"Content-Length: %d\r\n\r\n" % len(payload)
+                + payload,
+            )
+            assert status == 200 and body == {"payload": None}
+        finally:
+            close()
+
+    def test_negative_content_length_gets_structured_400(self, tmp_path):
+        server, close = self._start(tmp_path)
+        try:
+            status, body = self._exchange(
+                server,
+                b"POST /v1/cache/get HTTP/1.1\r\nHost: x\r\nContent-Length: -5\r\n\r\n",
+            )
+            assert status == 400
+            assert body == {"error": "bad Content-Length", "kind": "protocol"}
+        finally:
+            close()
+
+    def test_read_timeout_none_disables_the_deadline(self, tmp_path):
+        server, close = self._start(tmp_path, read_timeout=None)
+        try:
+            assert server.read_timeout is None
+            status, body = self._exchange(
+                server, b"GET /v1/health HTTP/1.1\r\nHost: x\r\n\r\n"
+            )
+            assert status == 200 and body["ok"] is True
+        finally:
+            close()
