@@ -13,6 +13,8 @@ depends on informally:
   SIGKILL fault suite assumes.
 * **API001** keeps the deprecation story honest: internal code must use the
   modern API, never the ``_compat`` shims kept for external callers.
+* **PERF001** protects the vectorized planning hot path: ``core/`` and
+  ``sim/`` must not fall back to per-element Python loops over numpy arrays.
 
 Rules self-register into :data:`~repro.analysis.lint.framework.LINT_REGISTRY`
 when this module is imported (it is the registry's bootstrap module).
@@ -567,6 +569,146 @@ class NoCompatImportRule(LintRule):
         ):
             self.report(node, self.MESSAGE)
         self.generic_visit(node)
+
+
+@register_rule(
+    "PERF001",
+    title="no per-element Python loops over numpy arrays in core/sim",
+    rationale="the planning hot path is vectorized; an element-wise Python loop over an array silently reverts it",
+)
+class NoScalarArrayLoopRule(LintRule):
+    """Flags ``for`` loops (and ordered comprehensions) iterating a value
+    statically known to be a numpy array in ``core/`` and ``sim/``.
+
+    Iterating a numpy array element-by-element pays boxing plus dispatch per
+    element — the exact cost the vectorized channel-schedule/pressure paths
+    were rewritten to avoid. The compliant idioms are whole-array numpy
+    operations, or — where a sequential early-exit walk is genuinely needed
+    (the chunked probe scans in ``core/bandwidth.py``) — iterating a small
+    ``.tolist()`` block, which converts once and then walks plain floats.
+
+    Detection mirrors DET003's intraprocedural inference, tracking
+    array-ness instead of set-ness: ``np.*`` array constructors/elementwise
+    calls, slices of known arrays, array methods returning arrays, and local
+    names last assigned from one. ``.tolist()`` / ``.item()`` and scalar
+    reductions break the taint, so the chunked-scan idiom passes clean.
+    """
+
+    code = "PERF001"
+    title = "no per-element Python loops over numpy arrays in core/sim"
+    rationale = (
+        "the planning hot path is vectorized; an element-wise Python loop "
+        "over an array silently reverts it"
+    )
+
+    LAYERS = ("core/", "sim/")
+
+    #: ``numpy.*`` callables that return arrays (constructors + elementwise).
+    ARRAY_FUNCS = frozenset(
+        {
+            "array", "asarray", "ascontiguousarray", "zeros", "zeros_like",
+            "ones", "ones_like", "empty", "empty_like", "full", "full_like",
+            "arange", "linspace", "concatenate", "stack", "hstack", "vstack",
+            "minimum", "maximum", "clip", "where", "cumsum", "cumprod",
+            "diff", "sort", "argsort", "flatnonzero", "nonzero", "abs",
+            "sqrt", "floor", "ceil", "rint", "exp", "log",
+        }
+    )
+
+    #: Array methods that return arrays (keep the taint flowing).
+    ARRAY_METHODS = frozenset(
+        {"copy", "astype", "clip", "cumsum", "round", "reshape", "ravel"}
+    )
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        return module.in_layers(self.LAYERS)
+
+    def begin(self, module: ModuleSource) -> None:
+        self._aliases = import_aliases(module.tree)
+        self._scopes: list[set[str]] = [set()]
+
+    # -- array-ness inference -------------------------------------------------
+
+    def _is_arrayish(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Name):
+            return any(node.id in scope for scope in self._scopes)
+        if isinstance(node, ast.Call):
+            func = node.func
+            dotted = dotted_name(func, self._aliases)
+            if (
+                dotted is not None
+                and dotted.startswith("numpy.")
+                and dotted.split(".", 1)[1] in self.ARRAY_FUNCS
+            ):
+                return True
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in self.ARRAY_METHODS
+                and self._is_arrayish(func.value)
+            ):
+                return True
+            return False
+        if isinstance(node, ast.Subscript):
+            # A slice of an array is an array view; an indexed element is a
+            # scalar, so only slice subscripts keep the taint.
+            return isinstance(node.slice, ast.Slice) and self._is_arrayish(node.value)
+        if isinstance(node, ast.BinOp):
+            # Elementwise arithmetic on an array yields an array.
+            return self._is_arrayish(node.left) or self._is_arrayish(node.right)
+        return False
+
+    def _bind(self, target: ast.expr, arrayish: bool) -> None:
+        if isinstance(target, ast.Name):
+            if arrayish:
+                self._scopes[-1].add(target.id)
+            else:
+                self._scopes[-1].discard(target.id)
+
+    # -- scope tracking -------------------------------------------------------
+
+    def _visit_function(self, node: ast.AST) -> None:
+        self._scopes.append(set())
+        self.generic_visit(node)
+        self._scopes.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.generic_visit(node)
+        arrayish = self._is_arrayish(node.value)
+        for target in node.targets:
+            self._bind(target, arrayish)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self.generic_visit(node)
+        if node.value is not None:
+            self._bind(node.target, self._is_arrayish(node.value))
+
+    # -- per-element sinks ----------------------------------------------------
+
+    MESSAGE = (
+        "per-element Python loop over a numpy array; use whole-array numpy "
+        "operations, or walk a small .tolist() chunk when a sequential "
+        "early-exit scan is required"
+    )
+
+    def _check_iter(self, node: ast.expr) -> None:
+        if self._is_arrayish(node):
+            self.report(node, self.MESSAGE)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def _visit_ordered_comp(self, node: ast.AST) -> None:
+        for generator in node.generators:
+            self._check_iter(generator.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_ordered_comp
+    visit_GeneratorExp = _visit_ordered_comp
+    visit_DictComp = _visit_ordered_comp
 
 
 # The interprocedural rules (DET005/ASY001/EXC001) live in

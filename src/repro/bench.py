@@ -107,11 +107,14 @@ def time_cell(cell: BenchCell, repeats: int = 3) -> dict:
         raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
     workload = build_workload(cell.model, batch_size=cell.batch_size, scale=cell.scale)
     result = run_policy(workload, cell.policy)  # warm-up, also checked below
+    plan_cache = dict(result.perf.plan_cache)
     samples = []
     for _ in range(repeats):
         start = time.perf_counter()
         result = run_policy(workload, cell.policy)
         samples.append(time.perf_counter() - start)
+        for counter, count in result.perf.plan_cache.items():
+            plan_cache[counter] = plan_cache.get(counter, 0) + count
     seconds = min(samples)
     record = {
         "tier": cell.tier,
@@ -125,6 +128,9 @@ def time_cell(cell: BenchCell, repeats: int = 3) -> dict:
         "normalized_performance": result.normalized_performance,
         "perf": result.perf.to_dict(),
         "phase_seconds": dict(result.perf.phase_seconds),
+        # Warm-up + timed repeats together: the warm-up's planning miss
+        # populates the plan-fragment cache, so the timed runs should be hits.
+        "plan_cache": plan_cache,
     }
     baseline = PRE_REFACTOR_SECONDS.get(cell.name)
     if baseline is not None:
@@ -178,6 +184,48 @@ def load_bench(path: str | Path) -> dict:
     """Read a previously written benchmark payload."""
     with Path(path).open("r", encoding="utf-8") as fh:
         return json.load(fh)
+
+
+#: Fields every cell record of a loaded payload must carry before the CLI
+#: reports it. ``samples``/``phase_seconds`` are the ones truncated payloads
+#: most often lose (hand-edited artifacts, payloads from aborted runs).
+_REQUIRED_CELL_FIELDS = ("tier", "seconds", "samples", "perf", "phase_seconds")
+
+
+def validate_payload(payload: dict, source: str | Path) -> dict:
+    """Check that a loaded payload has the shape the reporting paths need.
+
+    ``repro bench --from`` re-reads artifacts written by earlier runs (or by
+    other machines); a truncated or hand-edited payload used to surface as a
+    bare ``KeyError`` deep in the table renderer. This turns the problem into
+    a :class:`ConfigurationError` that names the file, the cell and the
+    missing field. Returns the payload unchanged on success.
+    """
+    cells = payload.get("cells")
+    if not isinstance(cells, dict):
+        raise ConfigurationError(f"bench payload {source} has no 'cells' table")
+    for name, record in cells.items():
+        if not isinstance(record, dict):
+            raise ConfigurationError(
+                f"bench payload {source}: cell {name!r} is not a record"
+            )
+        for field in _REQUIRED_CELL_FIELDS:
+            if field not in record:
+                raise ConfigurationError(
+                    f"bench payload {source}: cell {name!r} lacks {field!r} "
+                    "(truncated or pre-phase-recording artifact; re-run "
+                    "`repro bench` to regenerate it)"
+                )
+    return payload
+
+
+def plan_cache_summary(payload: dict) -> dict[str, int]:
+    """Aggregate plan-fragment cache counters across a payload's cells."""
+    totals = {"full_hits": 0, "fragment_hits": 0, "misses": 0}
+    for record in payload.get("cells", {}).values():
+        for counter, count in (record.get("plan_cache") or {}).items():
+            totals[counter] = totals.get(counter, 0) + count
+    return totals
 
 
 def check_regressions(

@@ -414,6 +414,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             payload = bench_mod.load_bench(args.from_file)
         except (OSError, json.JSONDecodeError) as exc:
             raise ConfigurationError(f"cannot read bench payload {args.from_file}: {exc}")
+        bench_mod.validate_payload(payload, args.from_file)
     else:
         payload = bench_mod.run_bench(
             quick=args.quick,
@@ -427,6 +428,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(format_table(rows))
         else:
             print("no per-phase timings recorded in this payload", file=sys.stderr)
+        cache_totals = bench_mod.plan_cache_summary(payload)
+        if any(cache_totals.values()):
+            lookups = sum(cache_totals.values())
+            hits = cache_totals["full_hits"] + cache_totals["fragment_hits"]
+            print(
+                f"plan cache: {cache_totals['full_hits']} full hits, "
+                f"{cache_totals['fragment_hits']} fragment hits, "
+                f"{cache_totals['misses']} misses "
+                f"(hit rate {hits / lookups:.0%})"
+            )
     headline = payload.get("headline")
     if headline is not None:
         print(

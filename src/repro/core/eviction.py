@@ -73,6 +73,26 @@ class _ScheduledMigration:
     prefetch_deadline: int
 
 
+def saturation_end_slot(
+    durations: np.ndarray, start_slot: int, ideal_seconds: float, num_slots: int
+) -> int:
+    """Last slot of the window an ideal-bandwidth transfer would occupy.
+
+    Vectorized window sizing for the §4.3 SSD-saturation test: the scalar walk
+    accumulates slot durations until they cover the ideal transfer time, which
+    is exactly the first cumulative sum ``>= ideal`` (``np.cumsum`` accumulates
+    sequentially, so its partial sums are bit-identical to the running scalar
+    sum — pinned by the Hypothesis suite against
+    :func:`repro.core.reference.scalar_saturation_end_slot`).
+    """
+    span = num_slots - 1 - start_slot
+    if span <= 0 or ideal_seconds <= 0:
+        return start_slot
+    cumulative = np.cumsum(durations[start_slot : num_slots - 1])
+    crossing = int(np.searchsorted(cumulative, ideal_seconds, side="left")) + 1
+    return start_slot + min(crossing, span)
+
+
 class SmartEvictionScheduler:
     """Plans pre-evictions and just-in-time prefetches for one training iteration."""
 
@@ -91,6 +111,7 @@ class SmartEvictionScheduler:
             report.baseline_pressure, config.gpu.memory_bytes
         )
         self._channels = ChannelSchedule(durations, config)
+        self._durations = durations
         self._host_used = np.zeros(self._num_slots, dtype=np.float64)
         self._host_capacity = float(config.host_memory_bytes)
         # The cost term depends only on the tensor size (channel latencies and
@@ -182,11 +203,9 @@ class SmartEvictionScheduler:
         """The paper's "to_ssd_traffic is full during t_r .. t_r + t_s" test."""
         write_bw = self._config.ssd.write_bandwidth
         ideal_seconds = size_bytes / write_bw
-        end_slot = start_slot
-        elapsed = 0.0
-        while end_slot < self._num_slots - 1 and elapsed < ideal_seconds:
-            elapsed += self._channels.slot_duration(end_slot)
-            end_slot += 1
+        end_slot = saturation_end_slot(
+            self._durations, start_slot, ideal_seconds, self._num_slots
+        )
         utilization = self._channels.utilization_window("ssd_write", start_slot, end_slot + 1)
         return bool(utilization.mean() >= self._policy.ssd_saturation_threshold)
 

@@ -1,0 +1,206 @@
+"""Cross-cell memoization of migration-plan fragments.
+
+Batch sweeps (figure grids, tenancy matrices, benchmark repeats) re-plan the
+same (graph, planner-config) pair over and over: figure 11 runs G10-FULL and
+G10-Host over identical planner inputs (the variants differ only in runtime
+per-request overhead), and every sweep cell that shares a model/batch/scale
+prefix re-derives the same eviction schedule. This module memoizes the two
+plan fragments the planner produces:
+
+* the **eviction-schedule fragment** — the post-``schedule()`` plan plus the
+  final pressure curve, keyed on the graph fingerprint and the config fields
+  the eviction scheduler actually reads (GPU/host capacity, channel
+  bandwidths/latencies, the eviction-policy knobs). Cells that differ only in
+  the eager-prefetch flag share this fragment: a hit replays the §4.4
+  prefetcher against the memoized pressure curve instead of re-running the
+  whole lazy-greedy schedule.
+* the **full plan** — additionally keyed on ``eager_prefetch``; a hit skips
+  planning entirely.
+
+The cache is value-transparent: a hit returns a plan bit-identical to what a
+fresh planning run would produce (the stored curve feeds the prefetcher the
+exact float64 values the live scheduler's timeline held), so golden results
+never depend on cache state. Plans are defensively copied at the container
+level on both store and lookup; the planned eviction/prefetch records are
+frozen dataclasses and safe to share.
+
+Keys deliberately omit config fields the planner never reads (SSD capacity,
+UVM fault costs, per-request overheads): cells that differ only in runtime
+parameters share plans. The graph fingerprint covers everything vitality
+analysis and the scheduler consume — kernel order, durations, tensor
+footprints, phases, tensor kinds and weight topology — so perturbed
+(profiling-noise) graphs get distinct entries.
+
+The cache is process-global (each sweep worker process warms its own) and
+LRU-bounded. Hit/miss counters surface through
+:class:`~repro.sim.results.PerfCounters` (``plan_cache``), ``SweepRunner``
+statistics and ``repro bench --profile``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..graph.training import TrainingGraph
+from .eviction import EvictionPolicyConfig
+from .plan import MigrationPlan
+
+#: Bound on memoized fragments per kind; sweeps iterate grids far wider than
+#: deep, so a small window captures the reuse without retaining every cell.
+_MAX_ENTRIES = 32
+
+
+def graph_fingerprint(graph: TrainingGraph) -> str:
+    """Content hash of everything planning reads from a training graph.
+
+    Durations are hashed via ``float.hex`` so two graphs collide only when
+    they are numerically identical — in which case their plans genuinely are
+    interchangeable. Profiling-noise graphs (perturbed durations) therefore
+    fingerprint differently from their clean counterparts.
+    """
+    hasher = hashlib.sha256()
+    write = hasher.update
+    write(f"{graph.name}|{graph.batch_size}|".encode())
+    for kernel in graph.kernels:
+        write(
+            f"k{kernel.index}|{kernel.phase.value}|{kernel.duration.hex()}|"
+            f"{kernel.tensor_ids}|".encode()
+        )
+    for tensor in graph.tensors:
+        write(
+            f"t{tensor.tensor_id}|{tensor.size_bytes}|{tensor.kind.value}|".encode()
+        )
+    write(f"w{tuple(graph.weight_ids)}|g{tuple(sorted(graph.gradient_of.items()))}".encode())
+    return hasher.hexdigest()
+
+
+def planner_config_key(
+    config: SystemConfig, policy: EvictionPolicyConfig
+) -> tuple[object, ...]:
+    """The config fields the eviction scheduler reads, as a hashable key.
+
+    Everything else in :class:`SystemConfig` (SSD capacity, UVM fault costs,
+    compute efficiency, ...) only affects runtime execution, so cells that
+    differ in those fields share plan fragments.
+    """
+    return (
+        config.gpu.memory_bytes,
+        config.host_memory_bytes,
+        config.host_bandwidth,
+        config.interconnect.bandwidth,
+        config.interconnect.latency,
+        config.ssd.write_bandwidth,
+        config.ssd.read_bandwidth,
+        config.ssd.write_latency,
+        config.ssd.read_latency,
+        policy.allow_ssd,
+        policy.allow_host,
+        policy.ssd_saturation_threshold,
+        policy.ranking,
+        policy.max_iterations,
+    )
+
+
+@dataclass
+class PlanCacheStats:
+    """Counters of planner outcomes since process start (or ``reset``)."""
+
+    full_hits: int = 0
+    fragment_hits: int = 0
+    misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.full_hits + self.fragment_hits
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "full_hits": self.full_hits,
+            "fragment_hits": self.fragment_hits,
+            "misses": self.misses,
+        }
+
+
+def _copy_plan(plan: MigrationPlan) -> MigrationPlan:
+    # Container-level defensive copy: MigrationPlan's lists are mutable, but
+    # the planned records inside are frozen and safe to share.
+    return replace(plan, evictions=list(plan.evictions), prefetches=list(plan.prefetches))
+
+
+class PlanFragmentCache:
+    """LRU cache of plan fragments keyed on (graph, planner-config) content."""
+
+    def __init__(self, max_entries: int = _MAX_ENTRIES):
+        self._max_entries = max_entries
+        self._full: OrderedDict[tuple, MigrationPlan] = OrderedDict()
+        self._schedules: OrderedDict[tuple, tuple[MigrationPlan, np.ndarray]] = OrderedDict()
+        self.stats = PlanCacheStats()
+
+    # -- full plans ---------------------------------------------------------
+
+    def lookup_full(self, key: tuple) -> MigrationPlan | None:
+        plan = self._full.get(key)
+        if plan is None:
+            return None
+        self._full.move_to_end(key)
+        self.stats.full_hits += 1
+        return _copy_plan(plan)
+
+    def store_full(self, key: tuple, plan: MigrationPlan) -> None:
+        self._full[key] = _copy_plan(plan)
+        self._full.move_to_end(key)
+        while len(self._full) > self._max_entries:
+            self._full.popitem(last=False)
+
+    # -- eviction-schedule fragments ---------------------------------------
+
+    def lookup_schedule(self, key: tuple) -> tuple[MigrationPlan, np.ndarray] | None:
+        entry = self._schedules.get(key)
+        if entry is None:
+            return None
+        self._schedules.move_to_end(key)
+        self.stats.fragment_hits += 1
+        plan, pressure = entry
+        return _copy_plan(plan), pressure.copy()
+
+    def store_schedule(self, key: tuple, plan: MigrationPlan, pressure: np.ndarray) -> None:
+        self._schedules[key] = (_copy_plan(plan), pressure.copy())
+        self._schedules.move_to_end(key)
+        while len(self._schedules) > self._max_entries:
+            self._schedules.popitem(last=False)
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def record_miss(self) -> None:
+        self.stats.misses += 1
+
+    def reset(self) -> None:
+        """Drop every entry and zero the counters (tests, fresh sweeps)."""
+        self._full.clear()
+        self._schedules.clear()
+        self.stats = PlanCacheStats()
+
+    def __len__(self) -> int:
+        return len(self._full) + len(self._schedules)
+
+
+_GLOBAL_CACHE = PlanFragmentCache()
+
+
+def get_plan_cache() -> PlanFragmentCache:
+    """The process-global plan-fragment cache."""
+    return _GLOBAL_CACHE
+
+
+def snapshot_counters() -> dict[str, int]:
+    """Copy of the global cache's counters (for before/after deltas)."""
+    return _GLOBAL_CACHE.stats.as_dict()

@@ -58,19 +58,27 @@ class SmartPrefetcher:
     def _earliest_issue(
         self, prefetch: PlannedPrefetch, earliest_allowed: int, num_slots: int
     ) -> int:
-        """Search backwards from the current issue slot for spare GPU capacity."""
-        capacity = self._pressure.capacity
-        pressure = self._pressure.pressure_view()
+        """Search backwards from the current issue slot for spare GPU capacity.
+
+        Vectorized: the scalar walk stops at the first blocked slot below the
+        issue slot, so the answer is one past the *last* blocked slot in the
+        window (or the window floor when none is blocked). Pure comparisons —
+        no accumulation — so the slot-order rewrite is trivially bit-safe; the
+        retained scalar walk lives in
+        ``repro.core.reference.scalar_earliest_issue``.
+        """
         issue = prefetch.issue_slot
-        candidate = issue
-        slot = issue - 1
-        while slot >= earliest_allowed:
-            folded = slot % num_slots
-            if pressure[folded] + prefetch.size_bytes > capacity:
-                break
-            candidate = slot
-            slot -= 1
-        return candidate
+        if issue <= earliest_allowed:
+            return issue
+        pressure = self._pressure.pressure_view()
+        slots = np.arange(earliest_allowed, issue, dtype=np.int64)
+        blocked = (
+            pressure[slots % num_slots] + prefetch.size_bytes > self._pressure.capacity
+        )
+        barrier = np.flatnonzero(blocked)
+        if barrier.size == 0:
+            return earliest_allowed
+        return earliest_allowed + int(barrier[-1]) + 1
 
     @staticmethod
     def _added_slots(new_issue: int, old_issue: int, num_slots: int) -> np.ndarray:

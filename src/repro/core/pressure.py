@@ -36,6 +36,13 @@ class MemoryPressureTimeline:
         if self._pressure.ndim != 1 or len(self._pressure) == 0:
             raise SchedulingError("baseline pressure must be a non-empty 1-D array")
         self._capacity = float(capacity_bytes)
+        # Incrementally maintained over-capacity curve: benefit evaluation is
+        # the scheduler's hottest call, and keeping the excess array current
+        # (mutations touch few slots) turns each call into one slice + min +
+        # sum instead of a full subtract/clamp over the window. The touched
+        # slots are recomputed with the exact same elementwise formula, so the
+        # values are bit-identical to recomputing from scratch.
+        self._excess = np.maximum(self._pressure - self._capacity, 0.0)
         # The scheduler re-evaluates the same periods' benefit thousands of
         # times, but the benefit only changes when the curve does — cache it
         # per mutation epoch (bumped by apply_eviction/add_bytes).
@@ -78,12 +85,12 @@ class MemoryPressureTimeline:
     @property
     def excess(self) -> np.ndarray:
         """Per-slot bytes above GPU capacity."""
-        return np.maximum(self._pressure - self._capacity, 0.0)
+        return self._excess.copy()
 
     @property
     def total_excess(self) -> float:
         """Integral (over slots) of the over-capacity region."""
-        return float(self.excess.sum())
+        return float(self._excess.sum())
 
     def fits(self) -> bool:
         """True once the projected pressure never exceeds GPU capacity."""
@@ -110,20 +117,22 @@ class MemoryPressureTimeline:
             return cached[1]
         # A period's slots are contiguous (wrap-around ones are two contiguous
         # pieces), so slicing replaces fancy indexing — same values, same
-        # summation order, no index array.
+        # summation order, no index array. The pre-clamped excess curve makes
+        # each evaluation one slice + min + sum; the scalar reference
+        # (``repro.core.reference.scalar_eviction_benefit``) recomputes the
+        # clamp per call and the Hypothesis suite pins the two byte-equal.
         if period.wraps_around:
-            values = np.concatenate(
+            excess = np.concatenate(
                 [
-                    self._pressure[period.start_slot + 1 :],
-                    self._pressure[: max(period.end_slot - self.num_slots, 0)],
+                    self._excess[period.start_slot + 1 :],
+                    self._excess[: max(period.end_slot - self.num_slots, 0)],
                 ]
             )
         else:
-            values = self._pressure[period.start_slot + 1 : max(period.end_slot, 0)]
-        if values.size == 0:
+            excess = self._excess[period.start_slot + 1 : max(period.end_slot, 0)]
+        if excess.size == 0:
             benefit = 0.0
         else:
-            excess = np.maximum(values - self._capacity, 0.0)
             benefit = float(np.minimum(excess, period.size_bytes).sum())
         self._benefit_cache[key] = (self._epoch, benefit)
         return benefit
@@ -138,6 +147,9 @@ class MemoryPressureTimeline:
         self._pressure[absent_slots] -= period.size_bytes
         if (self._pressure[absent_slots] < -1e-6).any():
             raise SchedulingError("pressure became negative; eviction applied twice?")
+        self._excess[absent_slots] = np.maximum(
+            self._pressure[absent_slots] - self._capacity, 0.0
+        )
 
     def add_bytes(self, slots: np.ndarray, nbytes: float) -> None:
         """Add ``nbytes`` of residency for the given slots (prefetch moved earlier)."""
@@ -145,3 +157,4 @@ class MemoryPressureTimeline:
             return
         self._epoch += 1
         self._pressure[slots] += nbytes
+        self._excess[slots] = np.maximum(self._pressure[slots] - self._capacity, 0.0)

@@ -8,7 +8,9 @@ from ..config import SystemConfig
 from ..graph.training import TrainingGraph
 from .eviction import EvictionPolicyConfig, SmartEvictionScheduler
 from .plan import MigrationPlan
+from .plan_cache import get_plan_cache, graph_fingerprint, planner_config_key
 from .prefetch import SmartPrefetcher
+from .pressure import MemoryPressureTimeline
 from .vitality import TensorVitalityAnalyzer, VitalityReport
 
 
@@ -46,11 +48,38 @@ class MigrationPlanner:
         return self.plan_from_report(report)
 
     def plan_from_report(self, report: VitalityReport) -> PlanningResult:
-        """Plan migrations when the vitality report is already available."""
-        scheduler = SmartEvictionScheduler(report, self.config, self.policy)
-        plan = scheduler.schedule()
-        if self.eager_prefetch:
-            plan = SmartPrefetcher(scheduler.pressure).optimize(plan)
+        """Plan migrations when the vitality report is already available.
+
+        Planning is memoized through the process-global
+        :mod:`~repro.core.plan_cache`: a full-plan hit skips planning
+        entirely, an eviction-schedule-fragment hit replays only the eager
+        prefetcher against the memoized pressure curve, and a miss runs the
+        whole pipeline and populates both fragments. Hits are bit-identical
+        to fresh planning runs, so results never depend on cache state.
+        """
+        cache = get_plan_cache()
+        fingerprint = graph_fingerprint(report.graph)
+        config_key = planner_config_key(self.config, self.policy)
+        full_key = (fingerprint, config_key, self.eager_prefetch)
+        plan = cache.lookup_full(full_key)
+        if plan is None:
+            schedule_key = (fingerprint, config_key)
+            fragment = cache.lookup_schedule(schedule_key)
+            if fragment is not None:
+                plan, pressure_curve = fragment
+                if self.eager_prefetch:
+                    timeline = MemoryPressureTimeline(
+                        pressure_curve, self.config.gpu.memory_bytes
+                    )
+                    plan = SmartPrefetcher(timeline).optimize(plan)
+            else:
+                cache.record_miss()
+                scheduler = SmartEvictionScheduler(report, self.config, self.policy)
+                plan = scheduler.schedule()
+                cache.store_schedule(schedule_key, plan, scheduler.pressure.pressure)
+                if self.eager_prefetch:
+                    plan = SmartPrefetcher(scheduler.pressure).optimize(plan)
+            cache.store_full(full_key, plan)
         return PlanningResult(
             plan=plan,
             report=report,

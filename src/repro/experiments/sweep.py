@@ -565,6 +565,9 @@ class SweepRunner:
         return self._run_cells(cells, [cell.cache_key() for cell in cells])
 
     def _run_cells(self, cells: list[SweepCell], keys: list[str]) -> list[CellResult]:
+        from ..core.plan_cache import snapshot_counters
+
+        plan_cache_before = snapshot_counters()
         payloads: dict[str, dict] = {}
         cached_keys: set[str] = set()
 
@@ -612,6 +615,11 @@ class SweepRunner:
             "cache_hits": sum(1 for key in keys if key in cached_keys),
             "executed": len(miss_cells),
         }
+        # Plan-fragment cache deltas for this run. Only the serial in-process
+        # path plans in this process; pool/queue workers warm their own
+        # process-global caches, so their outcomes are not visible here.
+        for counter, count in snapshot_counters().items():
+            self.last_stats[f"plan_{counter}"] = count - plan_cache_before[counter]
         return [
             CellResult(cell=cell, payload=payloads[key], cached=key in cached_keys)
             for cell, key in zip(cells, keys)

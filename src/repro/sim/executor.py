@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from ..config import SystemConfig
+from ..core.plan_cache import snapshot_counters as plan_cache_snapshot
 from ..core.vitality import TensorVitalityAnalyzer, VitalityReport
 from ..errors import SimulationError
 from ..graph.training import TrainingGraph
@@ -86,9 +87,14 @@ class ExecutionSimulator:
         self._page_table = UnifiedPageTable(UnifiedAddressSpace(config.uvm.page_size))
         self._fault_model = PageFaultModel(config.uvm)
 
+        cache_before = plan_cache_snapshot()
         plan_start = _time.perf_counter()
         policy.setup(PolicyContext(config=config, graph=graph, report=self._report))
         self._perf.phase_seconds["plan"] = _time.perf_counter() - plan_start
+        self._perf.plan_cache = {
+            name: count - cache_before[name]
+            for name, count in plan_cache_snapshot().items()
+        }
         self._engine = MigrationEngine(
             config,
             ssd=SSDDevice(config.ssd),
@@ -114,6 +120,26 @@ class ExecutionSimulator:
         for usage in self._report.usages.values():
             if not usage.is_global:
                 self._deaths_by_slot.setdefault(usage.death_slot, []).append(usage.tensor_id)
+
+        # Batched fault path: the per-tensor fault cost depends only on the
+        # tensor size, so one vectorized pass over the graph replaces a scalar
+        # fault_batches/fault_overhead call pair per demand fault.
+        tensors = list(graph.tensors)
+        sizes = [tensor.size_bytes for tensor in tensors]
+        fault_batches = self._fault_model.batch_fault_batches(sizes)
+        fault_overheads = fault_batches * config.uvm.fault_latency
+        self._fault_batches: dict[int, int] = {
+            tensor.tensor_id: batches
+            for tensor, batches in zip(tensors, fault_batches.tolist())
+        }
+        self._fault_overheads: dict[int, float] = {
+            tensor.tensor_id: overhead
+            for tensor, overhead in zip(tensors, fault_overheads.tolist())
+        }
+        #: GPU placements deferred within one kernel's residency loop and
+        #: flushed as a single grouped page-table update (before observers and
+        #: lifetime bookkeeping see the kernel boundary).
+        self._pending_gpu_places: list[int] = []
 
     # -- public API ----------------------------------------------------------------
 
@@ -142,6 +168,10 @@ class ExecutionSimulator:
             self._finalize_perf(execute_start)
             return result
         except _WorkloadFailure as failure:
+            # Placements deferred by tensors that *did* fit before the failure
+            # must still land, so the PTE accounting matches the sequential
+            # reference behaviour.
+            self._flush_gpu_places()
             self._finalize_perf(execute_start)
             return SimulationResult(
                 model_name=self._graph.name,
@@ -180,6 +210,7 @@ class ExecutionSimulator:
             ready = now
             for tensor_id in kernel.tensor_ids:
                 ready = max(ready, self._ensure_resident(tensor_id, protected, now))
+            self._flush_gpu_places()
 
             for observer in self._observers:
                 observer.on_kernel_start(kernel, ready)
@@ -257,8 +288,11 @@ class ExecutionSimulator:
             pending = self._evicting.pop(tensor_id, None)
             if pending is not None:
                 # The tensor was being pre-evicted but is needed again; keep it
-                # resident (the outbound copy becomes wasted bandwidth).
-                self._page_table.place(tensor_id, MemoryLocation.GPU)
+                # resident (the outbound copy becomes wasted bandwidth). The
+                # host copy's capacity must release immediately (it interacts
+                # with victim-eviction headroom checks), but the GPU placement
+                # joins the kernel's grouped page-table flush.
+                self._pending_gpu_places.append(tensor_id)
                 self._host.free(tensor_id)
             return max(now, self._arrival_time.get(tensor_id, now))
 
@@ -271,10 +305,14 @@ class ExecutionSimulator:
 
         if location is MemoryLocation.UNMAPPED:
             # Fresh allocation (kernel output or workspace): no data transfer.
-            self._page_table.place(tensor_id, MemoryLocation.GPU)
+            self._pending_gpu_places.append(tensor_id)
             return space_ready
 
-        # Demand fault: the kernel needs data that lives in host or flash memory.
+        # Demand fault: the kernel needs data that lives in host or flash
+        # memory. Fault costs come from the precomputed per-tensor tables (one
+        # vectorized pass at construction); the GPU placement is deferred into
+        # the kernel's grouped flush while the remote-copy release stays
+        # immediate (host/SSD capacity interleaves with victim evictions).
         request = MigrationRequest(
             tensor_id=tensor_id,
             size_bytes=size,
@@ -282,14 +320,20 @@ class ExecutionSimulator:
             destination=MemoryLocation.GPU,
             kind=MigrationKind.FAULT,
         )
-        overhead = self._fault_model.fault_overhead(size)
-        self._fault_events += self._fault_model.fault_batches(size)
+        overhead = self._fault_overheads[tensor_id]
+        self._fault_events += self._fault_batches[tensor_id]
         completion = self._submit(request, max(now, space_ready) + overhead)
         self._release_remote_copy(tensor_id, location)
-        self._page_table.place(tensor_id, MemoryLocation.GPU)
+        self._pending_gpu_places.append(tensor_id)
         self._arrival_time[tensor_id] = completion
         self._deferred_prefetches.pop(tensor_id, None)
         return completion
+
+    def _flush_gpu_places(self) -> None:
+        """Apply the kernel's deferred GPU placements as one grouped update."""
+        if self._pending_gpu_places:
+            self._page_table.place_batch(self._pending_gpu_places, MemoryLocation.GPU)
+            self._pending_gpu_places.clear()
 
     def _issue_prefetch(self, tensor_id: int, now: float) -> bool:
         """Start fetching a tensor ahead of its use.
@@ -433,17 +477,22 @@ class ExecutionSimulator:
     # -- tensor lifetime ------------------------------------------------------------------------
 
     def _free_dead_tensors(self, slot: int) -> None:
-        """Release intermediate tensors after their last use."""
+        """Release intermediate tensors after their last use.
+
+        Flash-resident dead tensors are collected and TRIMmed with one grouped
+        FTL update; nothing else touches the FTL between the per-tensor frees,
+        so the grouped discard observes the same operation order.
+        """
+        flash_dead: list[int] = []
         for tensor_id in self._deaths_by_slot.pop(slot, ()):
             self._gpu.free(tensor_id)
             self._host.free(tensor_id)
-            if (
-                tensor_id in self._page_table.address_space
-                and self._page_table.location_of(tensor_id) is MemoryLocation.FLASH
-            ):
-                self._engine.ssd.discard_object(tensor_id)
             if tensor_id in self._page_table.address_space:
+                if self._page_table.location_of(tensor_id) is MemoryLocation.FLASH:
+                    flash_dead.append(tensor_id)
                 self._page_table.unmap(tensor_id)
             self._arrival_time.pop(tensor_id, None)
             self._evicting.pop(tensor_id, None)
             self._last_used.pop(tensor_id, None)
+        if flash_dead:
+            self._engine.ssd.discard_objects(flash_dead)

@@ -76,6 +76,12 @@ class PerfCounters:
     #: Host wall-clock seconds per phase ("plan", "execute"); not serialized,
     #: not compared (machine-dependent).
     phase_seconds: dict = field(default_factory=dict, compare=False, repr=False)
+    #: Plan-fragment cache outcome of this run's planning phase ("full_hits",
+    #: "fragment_hits", "misses" deltas). Not serialized, not compared: the
+    #: outcome depends on what this *process* planned before, so identical
+    #: cells may legitimately differ across runs — including it in payloads
+    #: would break cross-mode bit-identity.
+    plan_cache: dict = field(default_factory=dict, compare=False, repr=False)
 
     def to_dict(self) -> dict:
         """JSON-safe dump of the deterministic counters only."""

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..config import SSDConfig
 from ..errors import SSDError
@@ -157,6 +158,17 @@ class SSDDevice:
         """TRIM an object (freed tensor or tensor migrated back for good)."""
         self._discard_units(object_id)
         self._objects.pop(object_id, None)
+
+    def discard_objects(self, object_ids: Sequence[int]) -> None:
+        """TRIM a batch of objects in the given order.
+
+        One grouped FTL update for a kernel boundary's dead tensors: the trims
+        are issued in list order, so the FTL observes the exact operation
+        sequence the per-object calls would produce.
+        """
+        for object_id in object_ids:
+            self._discard_units(object_id)
+            self._objects.pop(object_id, None)
 
     def lifetime(self, elapsed_seconds: float) -> LifetimeEstimate:
         """Project device lifetime from the traffic recorded so far (§7.7)."""

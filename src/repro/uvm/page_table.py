@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import Sequence
 
 from ..core.extents import Extent
 from ..errors import TranslationError
@@ -131,6 +132,34 @@ class UnifiedPageTable:
         )
         self.pte_updates += vrange.num_pages
         return vrange.num_pages
+
+    def place_batch(self, tensor_ids: Sequence[int], location: MemoryLocation) -> int:
+        """Move several tensors to one location with one grouped PTE update.
+
+        Used by the executor's batched fault path: all of a kernel's faulting
+        tensors land on the GPU together. Tensors are placed in list order, so
+        physical-base assignment matches the equivalent sequence of
+        :meth:`place` calls; the PTE-maintenance counter is bumped once with
+        the grouped total.
+        """
+        total_pages = 0
+        pages = self._location_pages
+        next_base = self._next_physical.get(location, 0)
+        for tensor_id in tensor_ids:
+            previous = self._locations.get(tensor_id)
+            if previous is None:
+                raise TranslationError(f"tensor {tensor_id} is not registered")
+            num_pages = self.address_space.range_of(tensor_id).num_pages
+            if previous is not MemoryLocation.UNMAPPED:
+                pages[previous] -= num_pages
+            self._locations[tensor_id] = location
+            self._physical_base[tensor_id] = next_base
+            next_base += num_pages
+            total_pages += num_pages
+        self._next_physical[location] = next_base
+        pages[location] = pages.get(location, 0) + total_pages
+        self.pte_updates += total_pages
+        return total_pages
 
     def unmap(self, tensor_id: int) -> None:
         """Drop the physical backing of a tensor (freed intermediate)."""

@@ -13,9 +13,11 @@ from repro.bench import (
     QUICK_TIERS,
     bench_cells,
     check_regressions,
+    plan_cache_summary,
     profile_rows,
     run_bench,
     time_cell,
+    validate_payload,
     write_bench,
 )
 from repro.cli import main
@@ -43,6 +45,10 @@ class TestBenchEngine:
             record["pre_refactor_seconds"] / record["seconds"]
         )
         assert set(record["phase_seconds"]) == {"plan", "execute"}
+        # Warm-up + timed repeats: at most one planning miss per cell; the
+        # timed runs replay from the plan-fragment cache.
+        assert set(record["plan_cache"]) == {"full_hits", "fragment_hits", "misses"}
+        assert record["plan_cache"]["full_hits"] >= 1
 
     def test_repeats_must_be_positive(self):
         with pytest.raises(ConfigurationError):
@@ -83,6 +89,40 @@ class TestBenchEngine:
         (message,) = check_regressions(current, baseline, threshold=2.0)
         assert "slowest-growing phase" not in message
 
+    def test_validate_payload_names_file_cell_and_field(self):
+        good = {"cells": {"a": {
+            "tier": "small", "seconds": 1.0, "samples": [1.0],
+            "perf": {}, "phase_seconds": {},
+        }}}
+        assert validate_payload(good, "good.json") is good
+        for missing in ("phase_seconds", "samples"):
+            truncated = {"cells": {"a": {
+                key: value for key, value in good["cells"]["a"].items()
+                if key != missing
+            }}}
+            with pytest.raises(ConfigurationError) as err:
+                validate_payload(truncated, "bad.json")
+            assert "bad.json" in str(err.value)
+            assert "'a'" in str(err.value)
+            assert repr(missing) in str(err.value)
+        with pytest.raises(ConfigurationError):
+            validate_payload({}, "empty.json")
+        with pytest.raises(ConfigurationError):
+            validate_payload({"cells": {"a": 7}}, "scalar.json")
+
+    def test_plan_cache_summary_aggregates_cells(self):
+        payload = {"cells": {
+            "a": {"plan_cache": {"full_hits": 3, "fragment_hits": 0, "misses": 1}},
+            "b": {"plan_cache": {"full_hits": 1, "fragment_hits": 2, "misses": 1}},
+            "old": {},  # pre-plan-cache payload contributes nothing
+        }}
+        assert plan_cache_summary(payload) == {
+            "full_hits": 4, "fragment_hits": 2, "misses": 2,
+        }
+        assert plan_cache_summary({"cells": {}}) == {
+            "full_hits": 0, "fragment_hits": 0, "misses": 0,
+        }
+
     def test_profile_rows_break_each_cell_into_phases(self):
         payload = {"cells": {
             "a": {"seconds": 1.0, "phase_seconds": {"plan": 0.25, "execute": 0.75}},
@@ -113,16 +153,28 @@ class TestBenchCli:
         current = run_bench(quick=True, repeats=1)
         healthy = tmp_path / "healthy.json"
         write_bench(current, healthy)
-        # A baseline claiming every cell used to take exactly the gating
-        # floor: any real cell comfortably exceeds 1.01x of 50ms.
-        doctored = {
+        # The plan cache pushed every quick cell under the 50 ms noise floor,
+        # so a doctored *baseline* can no longer trip the gate against a real
+        # run; instead doctor a slow *current* payload (10 s cells) against an
+        # above-floor baseline (0.1 s cells).
+        baseline = {
+            **current,
             "cells": {
-                name: {**record, "seconds": 0.05}
+                name: {**record, "seconds": 0.1}
                 for name, record in current["cells"].items()
-            }
+            },
         }
-        regressed = tmp_path / "regressed.json"
-        regressed.write_text(json.dumps(doctored), encoding="utf-8")
+        slow = {
+            **current,
+            "cells": {
+                name: {**record, "seconds": 10.0}
+                for name, record in current["cells"].items()
+            },
+        }
+        baseline_path = tmp_path / "baseline.json"
+        slow_path = tmp_path / "slow.json"
+        write_bench(baseline, baseline_path)
+        write_bench(slow, slow_path)
 
         output = tmp_path / "out.json"
         assert main([
@@ -130,8 +182,8 @@ class TestBenchCli:
             "--output", str(output), "--check", str(healthy), "--threshold", "50",
         ]) == 0
         assert main([
-            "bench", "--quick", "--repeats", "1",
-            "--output", str(output), "--check", str(regressed), "--threshold", "1.01",
+            "bench", "--from", str(slow_path),
+            "--check", str(baseline_path), "--threshold", "1.01",
         ]) == 1
 
     def test_missing_baseline_is_a_configuration_error(self, tmp_path):
@@ -160,22 +212,59 @@ class TestBenchCli:
         current = run_bench(quick=True, repeats=1)
         measured = tmp_path / "measured.json"
         write_bench(current, measured)
-        doctored = {
+        # Regression = a slow current payload vs an above-noise-floor
+        # baseline; both are diffed without re-measuring anything.
+        baseline = {
+            **current,
             "cells": {
-                name: {**record, "seconds": 0.05}
+                name: {**record, "seconds": 0.1}
                 for name, record in current["cells"].items()
-            }
+            },
         }
-        regressed = tmp_path / "regressed.json"
-        regressed.write_text(json.dumps(doctored), encoding="utf-8")
+        slow = {
+            **current,
+            "cells": {
+                name: {**record, "seconds": 10.0}
+                for name, record in current["cells"].items()
+            },
+        }
+        baseline_path = tmp_path / "baseline.json"
+        slow_path = tmp_path / "slow.json"
+        write_bench(baseline, baseline_path)
+        write_bench(slow, slow_path)
 
         assert main(["bench", "--from", str(measured),
                      "--check", str(measured), "--threshold", "50"]) == 0
-        assert main(["bench", "--from", str(measured),
-                     "--check", str(regressed), "--threshold", "1.01"]) == 1
+        assert main(["bench", "--from", str(slow_path),
+                     "--check", str(baseline_path), "--threshold", "1.01"]) == 1
 
     def test_from_missing_payload_is_a_configuration_error(self, tmp_path):
         assert main(["bench", "--from", str(tmp_path / "missing.json")]) == 2
+
+    @pytest.mark.parametrize("missing", ["phase_seconds", "samples"])
+    def test_from_truncated_payload_is_a_configuration_error(
+        self, tmp_path, capsys, missing
+    ):
+        """A saved payload lacking a required cell field must surface as a
+        structured ConfigurationError naming the field, not a KeyError."""
+        payload = run_bench(quick=True, repeats=1)
+        for record in payload["cells"].values():
+            record.pop(missing, None)
+        truncated = tmp_path / "truncated.json"
+        write_bench(payload, truncated)
+
+        assert main(["bench", "--from", str(truncated)]) == 2
+        err = capsys.readouterr().err
+        assert repr(missing) in err
+        assert str(truncated) in err
+
+    def test_from_profile_reports_plan_cache_counters(self, tmp_path, capsys):
+        saved = tmp_path / "saved.json"
+        write_bench(run_bench(quick=True, repeats=1), saved)
+        assert main(["bench", "--from", str(saved), "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "plan cache:" in out
+        assert "hit rate" in out
 
 
 def test_committed_bench_artifact_tracks_the_headline_cell():
@@ -186,6 +275,7 @@ def test_committed_bench_artifact_tracks_the_headline_cell():
     assert path.exists(), "BENCH_core.json must be committed at the repo root"
     payload = json.loads(path.read_text(encoding="utf-8"))
     assert payload["headline"]["cell"] == HEADLINE_CELL
-    # The acceptance criterion of the extent refactor: >= 3x on the
-    # paper-scale batch-sweep cell, recorded for posterity.
-    assert payload["headline"]["speedup_vs_pre_refactor"] >= 3.0
+    # The acceptance criterion of the vectorized-planning refactor: >= 4x on
+    # the paper-scale batch-sweep cell, recorded for posterity (the earlier
+    # extent refactor's bar was 3x).
+    assert payload["headline"]["speedup_vs_pre_refactor"] >= 4.0

@@ -386,6 +386,88 @@ class TestAPI001CompatImports:
         assert lint_snippet("import warnings\n", "_compat.py") == []
 
 
+class TestPERF001ScalarArrayLoops:
+    def test_fires_on_for_over_numpy_call(self):
+        source = """
+            import numpy as np
+
+            def walk(values):
+                total = 0.0
+                for value in np.asarray(values, dtype=np.float64):
+                    total += value
+                return total
+        """
+        assert codes(lint_snippet(source, "core/pressure.py")) == ["PERF001"]
+
+    def test_fires_on_tracked_local_array(self):
+        source = """
+            import numpy as np
+
+            def walk(n):
+                slots = np.zeros(n)
+                return [slot + 1 for slot in slots]
+        """
+        assert codes(lint_snippet(source, "sim/executor.py")) == ["PERF001"]
+
+    def test_fires_on_slice_of_array(self):
+        source = """
+            import numpy as np
+
+            def walk(n, lo, hi):
+                combined = np.zeros(n)
+                for available in combined[lo:hi]:
+                    if available > 0:
+                        return available
+                return None
+        """
+        assert codes(lint_snippet(source, "core/bandwidth.py")) == ["PERF001"]
+
+    def test_fires_on_elementwise_arithmetic_result(self):
+        source = """
+            import numpy as np
+
+            def walk(n):
+                pressure = np.ones(n)
+                for excess in pressure - 1.0:
+                    yield excess
+        """
+        assert codes(lint_snippet(source, "core/pressure.py")) == ["PERF001"]
+
+    def test_quiet_on_tolist_chunk_walk(self):
+        source = """
+            import numpy as np
+
+            def walk(n, lo, hi):
+                combined = np.zeros(n)
+                for available in combined[lo:hi].tolist():
+                    if available > 0:
+                        return available
+                return None
+        """
+        assert lint_snippet(source, "core/bandwidth.py") == []
+
+    def test_quiet_on_indexed_element_and_rebound_names(self):
+        source = """
+            import numpy as np
+
+            def walk(n):
+                slots = np.zeros(n)
+                first = slots[0]
+                slots = sorted(range(n))
+                return [first + slot for slot in slots]
+        """
+        assert lint_snippet(source, "core/eviction.py") == []
+
+    def test_quiet_outside_core_and_sim(self):
+        source = """
+            import numpy as np
+
+            def walk(values):
+                return [v + 1 for v in np.asarray(values)]
+        """
+        assert lint_snippet(source, "experiments/figures.py") == []
+
+
 class TestSuppressions:
     def test_inline_disable_silences_one_rule(self):
         source = """

@@ -482,7 +482,8 @@ class TestQueueExecution:
 
         # A second run is a pure cache resume: the queue is not touched again.
         resumed = runner.run(SPEC)
-        assert runner.last_stats == {"cells": 3, "cache_hits": 3, "executed": 0}
+        stats = runner.last_stats
+        assert (stats["cells"], stats["cache_hits"], stats["executed"]) == (3, 3, 0)
         assert json.dumps(jsonify([out.payload for out in resumed]), sort_keys=True) == reference
 
         queue = WorkQueue(tmp_path / "queue")

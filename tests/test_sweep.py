@@ -168,11 +168,19 @@ class TestSweepRunner:
         runner = SweepRunner(cache=cache)
 
         first = runner.run(self.SPEC)
-        assert runner.last_stats == {"cells": 2, "cache_hits": 0, "executed": 2}
+        stats = runner.last_stats
+        assert (stats["cells"], stats["cache_hits"], stats["executed"]) == (2, 0, 2)
+        # The executed g10 cell planned in-process, so the plan-fragment
+        # cache saw at least one lookup (hit or miss depends on what earlier
+        # tests already warmed into the process-global cache).
+        assert stats["plan_full_hits"] + stats["plan_fragment_hits"] + stats["plan_misses"] >= 1
         assert all(not out.cached for out in first)
 
         second = runner.run(self.SPEC)
-        assert runner.last_stats == {"cells": 2, "cache_hits": 2, "executed": 0}
+        stats = runner.last_stats
+        assert (stats["cells"], stats["cache_hits"], stats["executed"]) == (2, 2, 0)
+        # A pure result-cache resume never plans, so no plan-cache lookups.
+        assert stats["plan_full_hits"] + stats["plan_fragment_hits"] + stats["plan_misses"] == 0
         assert all(out.cached for out in second)
         assert [s.payload for s in first] == [s.payload for s in second]
 
